@@ -1,0 +1,53 @@
+"""Ablation of the individual optimizations on RDF-H Q3 (simulated cost).
+
+Table I already varies all three knobs; this benchmark isolates each one's
+contribution on Q3 cold, relative to the fully-optimized configuration:
+clustering only, RDFscan only, zone maps only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sparql import DEFAULT_SCHEME, RDFSCAN_SCHEME
+
+ABLATIONS = [
+    ("baseline", DEFAULT_SCHEME, "ParseOrder", False),
+    ("clustering_only", DEFAULT_SCHEME, "Clustered", False),
+    ("rdfscan_only", RDFSCAN_SCHEME, "ParseOrder", False),
+    ("clustering_plus_rdfscan", RDFSCAN_SCHEME, "Clustered", False),
+    ("fully_optimized", RDFSCAN_SCHEME, "Clustered", True),
+]
+
+
+@pytest.mark.parametrize("label,scheme,ordering,zone_maps", ABLATIONS,
+                         ids=[a[0] for a in ABLATIONS])
+def test_q3_ablation(benchmark, table1_harness, label, scheme, ordering, zone_maps):
+    def run():
+        return table1_harness.run_cell("Q3", scheme, ordering, zone_maps, "cold")
+
+    measurement = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_ms"] = measurement.simulated_seconds * 1e3
+    benchmark.extra_info["page_reads"] = measurement.page_reads
+    assert measurement.result_rows >= 1
+
+
+def test_ablation_ordering(table1_harness, results_dir):
+    """Each added optimization must not hurt, and the full stack must win."""
+    costs = {}
+    for label, scheme, ordering, zone_maps in ABLATIONS:
+        measurement = table1_harness.run_cell("Q3", scheme, ordering, zone_maps, "cold")
+        costs[label] = measurement.simulated_seconds
+
+    lines = ["Q3 ablation (cold, simulated seconds)", ""]
+    for label, value in costs.items():
+        lines.append(f"{label:>24}: {value * 1e3:9.2f} ms "
+                     f"({costs['baseline'] / value:5.1f}x vs baseline)")
+    report = "\n".join(lines) + "\n"
+    (results_dir / "ablation_q3.txt").write_text(report, encoding="utf-8")
+    print("\n" + report)
+
+    assert costs["clustering_only"] <= costs["baseline"]
+    assert costs["clustering_plus_rdfscan"] <= costs["rdfscan_only"]
+    assert costs["fully_optimized"] <= costs["clustering_plus_rdfscan"]
+    assert costs["fully_optimized"] < costs["baseline"]

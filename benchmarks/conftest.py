@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+The RDF-H scale factor is configurable through the ``REPRO_BENCH_SF``
+environment variable (default 0.002, ~150k triples) so the same benchmark
+files can be run at larger scales on bigger machines.  Stores are built once
+per session; the benchmarks measure query execution only.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import TableOneConfig, TableOneHarness  # noqa: E402
+from repro.core import StoreConfig  # noqa: E402
+
+BENCH_SCALE_FACTOR = float(os.environ.get("REPRO_BENCH_SF", "0.002"))
+BENCH_PAGE_SIZE = int(os.environ.get("REPRO_BENCH_PAGE_SIZE", "256"))
+
+
+@pytest.fixture(scope="session")
+def store_config() -> StoreConfig:
+    return StoreConfig(page_size=BENCH_PAGE_SIZE, zone_size=BENCH_PAGE_SIZE)
+
+
+@pytest.fixture(scope="session")
+def table1_harness(store_config) -> TableOneHarness:
+    """The Table I harness with both stores (ParseOrder + Clustered) pre-built."""
+    harness = TableOneHarness(TableOneConfig(scale_factor=BENCH_SCALE_FACTOR),
+                              store_config=store_config)
+    harness.store("ParseOrder")
+    harness.store("Clustered")
+    return harness
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(__file__).resolve().parent / "results"
+    path.mkdir(exist_ok=True)
+    return path

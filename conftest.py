@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The package is normally installed editable, but tests and benchmarks must
+also run straight from a checkout (e.g. in offline CI images without a
+working editable install), so the source tree is prepended to ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

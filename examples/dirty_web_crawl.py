@@ -1,0 +1,66 @@
+"""Self-organizing storage on dirty, web-crawl-like RDF.
+
+The paper's future-work target is web-crawled data, "the dirtiest data
+encountered in practice".  This example generates data with a known regular
+backbone plus noise, shows how much of it the emergent schema captures at
+different dirtiness levels, and demonstrates that query answers are identical
+whether a triple landed in an aligned CS column or in the irregular spill
+store.
+
+Run with::
+
+    python examples/dirty_web_crawl.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PlannerOptions, RDFStore, StoreConfig
+from repro.bench import DirtyConfig, generate_dirty
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+
+
+def build_store(dropout: float, noise: float) -> tuple[RDFStore, float]:
+    dataset = generate_dirty(DirtyConfig(classes=5, subjects_per_class=120,
+                                         dropout=dropout, noise_triples=noise,
+                                         chaotic_subjects=30))
+    config = StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=5, attach_similarity=0.35)))
+    store = RDFStore.build(dataset.triples, config=config)
+    ground_truth = dataset.regular_triple_count / dataset.total_triples()
+    return store, ground_truth
+
+
+def main() -> None:
+    print("=== coverage vs dirtiness ===")
+    print(f"{'dropout':>8} {'noise':>6} | {'tables':>6} {'coverage':>9} {'regular GT':>10} {'aligned':>8}")
+    for dropout, noise in [(0.0, 0.0), (0.1, 0.05), (0.2, 0.15), (0.35, 0.3)]:
+        store, ground_truth = build_store(dropout, noise)
+        schema = store.require_schema()
+        aligned = store.clustered_store.regular_fraction()
+        print(f"{dropout:8.2f} {noise:6.2f} | {len(schema.tables):6d} "
+              f"{schema.coverage.triple_coverage():9.1%} {ground_truth:10.1%} {aligned:8.1%}")
+
+    print("\n=== irregular data is still queryable ===")
+    store, _ = build_store(0.2, 0.15)
+    schema = store.require_schema()
+    # pick one property of the largest discovered table and ask a star query
+    table = schema.tables_by_support()[0]
+    predicates = sorted(table.properties)
+    p0 = store.dictionary.decode(predicates[1]).value
+    p1 = store.dictionary.decode(predicates[2]).value
+    query = f"SELECT ?s ?a ?b WHERE {{ ?s <{p0}> ?a . ?s <{p1}> ?b . }}"
+    via_rdfscan = store.sparql(query, PlannerOptions(scheme="rdfscan"))
+    via_default = store.sparql(query, PlannerOptions(scheme="default"))
+    print(f"  star over {table.label}: {len(via_rdfscan)} answers via RDFscan, "
+          f"{len(via_default)} via the Default plan "
+          f"({'identical' if via_rdfscan.bindings.to_set(['s', 'a', 'b']) == via_default.bindings.to_set(['s', 'a', 'b']) else 'MISMATCH'})")
+    print(f"  irregular triples held in the basic PSO store: {len(store.clustered_store.irregular)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim so the package installs in fully offline environments.
+
+All real metadata lives in ``pyproject.toml``; this file only exists because
+the environment has no ``wheel`` package, which PEP 660 editable installs
+require.  ``pip install -e . --no-use-pep517 --no-build-isolation`` (or
+``python setup.py develop``) works with setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — Self-organizing structured RDF.
+
+A reproduction of *"Self-organizing Structured RDF in MonetDB"* (Pham,
+ICDE 2013): characteristic-set schema discovery, subject-clustered columnar
+storage, RDFscan/RDFjoin star-pattern operators, and SPARQL + SQL frontends
+over the same data — all on a pure-Python/NumPy columnar substrate with a
+buffer-pool simulator for hardware-independent cost accounting.
+
+Typical use::
+
+    from repro import RDFStore
+
+    store = RDFStore.build(open("data.nt").read())
+    print(store.schema_summary())
+    result = store.sparql("SELECT ?a WHERE { ?b <http://ex/has_author> ?a }")
+    print(store.decode_rows(result))
+"""
+
+from .core import RDFStore, StoreConfig
+from .cs import DiscoveryConfig, EmergentSchema, GeneralizationConfig
+from .errors import (
+    BenchmarkError,
+    DictionaryError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from .model import BNode, Graph, IRI, Literal, Triple
+from .sparql import PlannerOptions
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BNode",
+    "BenchmarkError",
+    "DictionaryError",
+    "DiscoveryConfig",
+    "EmergentSchema",
+    "ExecutionError",
+    "GeneralizationConfig",
+    "Graph",
+    "IRI",
+    "Literal",
+    "ParseError",
+    "PlanError",
+    "PlannerOptions",
+    "RDFStore",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "StoreConfig",
+    "Triple",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""SPARQL (and SQL-view) texts for the RDF-H workload.
+
+The paper's Table I measures RDF-H Q3 and Q6 (the straight mapping of TPC-H
+Q3 and Q6 to SPARQL).  Q1 is included as an extra single-CS aggregation
+query used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from .rdfh import RDFH_VOC
+
+_PREFIXES = f"""PREFIX rdfh: <{RDFH_VOC}>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+"""
+
+
+def q6_sparql(ship_year: int = 1994, discount: float = 0.06, quantity_limit: int = 24) -> str:
+    """RDF-H Q6: revenue from discounted small-quantity lineitems of one year."""
+    low = date(ship_year, 1, 1).isoformat()
+    high = date(ship_year + 1, 1, 1).isoformat()
+    return f"""{_PREFIXES}
+SELECT (SUM(?extendedprice * ?discount) AS ?revenue)
+WHERE {{
+  ?l rdfh:l_shipdate ?shipdate .
+  ?l rdfh:l_discount ?discount .
+  ?l rdfh:l_quantity ?quantity .
+  ?l rdfh:l_extendedprice ?extendedprice .
+  FILTER(?shipdate >= "{low}"^^xsd:date && ?shipdate < "{high}"^^xsd:date)
+  FILTER(?discount >= "{discount - 0.011:.3f}"^^xsd:decimal && ?discount <= "{discount + 0.011:.3f}"^^xsd:decimal)
+  FILTER(?quantity < "{quantity_limit}"^^xsd:integer)
+}}
+"""
+
+
+def q3_sparql(segment: str = "BUILDING", cutoff: date = date(1995, 3, 15), limit: int = 10) -> str:
+    """RDF-H Q3: top unshipped orders of one market segment by potential revenue."""
+    cutoff_text = cutoff.isoformat()
+    return f"""{_PREFIXES}
+SELECT ?order ?orderdate ?shippriority (SUM(?extendedprice * (1 - ?discount)) AS ?revenue)
+WHERE {{
+  ?customer rdfh:c_mktsegment "{segment}" .
+  ?order rdfh:o_custkey ?customer .
+  ?order rdfh:o_orderdate ?orderdate .
+  ?order rdfh:o_shippriority ?shippriority .
+  ?line rdfh:l_orderkey ?order .
+  ?line rdfh:l_shipdate ?shipdate .
+  ?line rdfh:l_extendedprice ?extendedprice .
+  ?line rdfh:l_discount ?discount .
+  FILTER(?orderdate < "{cutoff_text}"^^xsd:date)
+  FILTER(?shipdate > "{cutoff_text}"^^xsd:date)
+}}
+GROUP BY ?order ?orderdate ?shippriority
+ORDER BY DESC(?revenue) ?orderdate
+LIMIT {limit}
+"""
+
+
+def q1_sparql(delivery_cutoff: str = "1998-09-02") -> str:
+    """RDF-H Q1 (simplified): per return-flag/status pricing summary."""
+    return f"""{_PREFIXES}
+SELECT ?returnflag ?linestatus (SUM(?quantity) AS ?sum_qty)
+       (SUM(?extendedprice) AS ?sum_base_price)
+       (SUM(?extendedprice * (1 - ?discount)) AS ?sum_disc_price)
+       (COUNT(?quantity) AS ?count_order)
+WHERE {{
+  ?l rdfh:l_returnflag ?returnflag .
+  ?l rdfh:l_linestatus ?linestatus .
+  ?l rdfh:l_quantity ?quantity .
+  ?l rdfh:l_extendedprice ?extendedprice .
+  ?l rdfh:l_discount ?discount .
+  ?l rdfh:l_shipdate ?shipdate .
+  FILTER(?shipdate <= "{delivery_cutoff}"^^xsd:date)
+}}
+GROUP BY ?returnflag ?linestatus
+ORDER BY ?returnflag ?linestatus
+"""
+
+
+def star_lookup_sparql(property_count: int = 4) -> str:
+    """The Fig. 4(a) style star: N properties of one subject, one constant.
+
+    Used by the plan-shape benchmark to count joins per plan scheme.
+    """
+    assert 2 <= property_count <= 5
+    props = ["l_quantity", "l_extendedprice", "l_discount", "l_tax"][: property_count - 1]
+    body = "\n".join(f"  ?l rdfh:{prop} ?o{i} ." for i, prop in enumerate(props, start=1))
+    return f"""{_PREFIXES}
+SELECT {' '.join(f'?o{i}' for i in range(1, property_count))}
+WHERE {{
+{body}
+  ?l rdfh:l_returnflag "R" .
+}}
+"""
+
+
+def star_fk_hop_sparql() -> str:
+    """The Fig. 4(b) style query: a star plus one foreign-key hop."""
+    return f"""{_PREFIXES}
+SELECT ?o1 ?o2 ?o3
+WHERE {{
+  ?l rdfh:l_quantity ?o1 .
+  ?l rdfh:l_extendedprice ?o2 .
+  ?l rdfh:l_discount ?o3 .
+  ?l rdfh:l_orderkey ?order .
+  ?order rdfh:o_orderpriority "1-URGENT" .
+}}
+"""
+
+
+def q6_sql(ship_year: int = 1994, discount: float = 0.06, quantity_limit: int = 24) -> str:
+    """Q6 phrased against the emergent SQL view (table/column names are the
+    labels the discovery pipeline assigns to the RDF-H data)."""
+    low = date(ship_year, 1, 1).isoformat()
+    high = date(ship_year + 1, 1, 1).isoformat()
+    return (
+        "SELECT SUM(l_extendedprice * l_discount) AS revenue "
+        "FROM Lineitem "
+        f"WHERE l_shipdate >= DATE '{low}' AND l_shipdate < DATE '{high}' "
+        f"AND l_discount >= {discount - 0.011:.3f} AND l_discount <= {discount + 0.011:.3f} "
+        f"AND l_quantity < {quantity_limit}"
+    )
+
+
+def q3_sql(segment: str = "BUILDING", cutoff: str = "1995-03-15", limit: int = 10) -> str:
+    """Q3 phrased against the emergent SQL view."""
+    return (
+        "SELECT o.id AS orderid, o.o_orderdate, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue "
+        "FROM Lineitem l "
+        "JOIN Order o ON l.l_orderkey = o.id "
+        "JOIN Customer c ON o.o_custkey = c.id "
+        f"WHERE c.c_mktsegment = '{segment}' "
+        f"AND o.o_orderdate < DATE '{cutoff}' AND l.l_shipdate > DATE '{cutoff}' "
+        "GROUP BY o.id, o.o_orderdate "
+        "ORDER BY revenue DESC "
+        f"LIMIT {limit}"
+    )

@@ -1,0 +1,117 @@
+"""RDF-H: the 1:1 mapping of TPC-H to RDF used by the paper's evaluation.
+
+Every row becomes one subject IRI; every column one triple.  Foreign keys
+become object properties (``rdfh:l_orderkey`` points at the ORDERS subject,
+``rdfh:o_custkey`` at the CUSTOMER subject), which is what lets the schema
+discovery recover the TPC-H foreign-key graph and the clustered store
+sub-order LINEITEM on ``shipdate`` / ORDERS on ``orderdate``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..model import IRI, Literal, Triple, literal_from_python
+from ..model.terms import RDF_TYPE, XSD_DATE
+from .tpch import LineItem, Order, TpchConfig, TpchData, generate_tpch
+
+RDFH = "http://example.org/rdfh/"
+RDFH_VOC = RDFH + "schema/"
+
+CLASS_CUSTOMER = RDFH_VOC + "Customer"
+CLASS_ORDER = RDFH_VOC + "Order"
+CLASS_LINEITEM = RDFH_VOC + "Lineitem"
+
+# predicate IRIs, named after the TPC-H columns
+P_TYPE = RDF_TYPE
+P_C_NAME = RDFH_VOC + "c_name"
+P_C_MKTSEGMENT = RDFH_VOC + "c_mktsegment"
+P_C_NATION = RDFH_VOC + "c_nation"
+P_C_ACCTBAL = RDFH_VOC + "c_acctbal"
+P_O_CUSTKEY = RDFH_VOC + "o_custkey"
+P_O_ORDERDATE = RDFH_VOC + "o_orderdate"
+P_O_ORDERSTATUS = RDFH_VOC + "o_orderstatus"
+P_O_ORDERPRIORITY = RDFH_VOC + "o_orderpriority"
+P_O_SHIPPRIORITY = RDFH_VOC + "o_shippriority"
+P_O_TOTALPRICE = RDFH_VOC + "o_totalprice"
+P_L_ORDERKEY = RDFH_VOC + "l_orderkey"
+P_L_LINENUMBER = RDFH_VOC + "l_linenumber"
+P_L_QUANTITY = RDFH_VOC + "l_quantity"
+P_L_EXTENDEDPRICE = RDFH_VOC + "l_extendedprice"
+P_L_DISCOUNT = RDFH_VOC + "l_discount"
+P_L_TAX = RDFH_VOC + "l_tax"
+P_L_SHIPDATE = RDFH_VOC + "l_shipdate"
+P_L_RETURNFLAG = RDFH_VOC + "l_returnflag"
+P_L_LINESTATUS = RDFH_VOC + "l_linestatus"
+
+
+def customer_iri(custkey: int) -> IRI:
+    return IRI(f"{RDFH}customer/{custkey}")
+
+
+def order_iri(orderkey: int) -> IRI:
+    return IRI(f"{RDFH}order/{orderkey}")
+
+
+def lineitem_iri(orderkey: int, linenumber: int) -> IRI:
+    return IRI(f"{RDFH}lineitem/{orderkey}-{linenumber}")
+
+
+def tpch_to_triples(data: TpchData) -> Iterator[Triple]:
+    """Map generated TPC-H rows to RDF-H triples (one pass, streaming)."""
+    type_pred = IRI(P_TYPE)
+    for customer in data.customers:
+        subject = customer_iri(customer.custkey)
+        yield Triple(subject, type_pred, IRI(CLASS_CUSTOMER))
+        yield Triple(subject, IRI(P_C_NAME), Literal(customer.name))
+        yield Triple(subject, IRI(P_C_MKTSEGMENT), Literal(customer.mktsegment))
+        yield Triple(subject, IRI(P_C_NATION), Literal(customer.nation))
+        yield Triple(subject, IRI(P_C_ACCTBAL), literal_from_python(customer.acctbal))
+    for order in data.orders:
+        subject = order_iri(order.orderkey)
+        yield Triple(subject, type_pred, IRI(CLASS_ORDER))
+        yield Triple(subject, IRI(P_O_CUSTKEY), customer_iri(order.custkey))
+        yield Triple(subject, IRI(P_O_ORDERDATE), Literal(order.orderdate.isoformat(), datatype=XSD_DATE))
+        yield Triple(subject, IRI(P_O_ORDERSTATUS), Literal(order.orderstatus))
+        yield Triple(subject, IRI(P_O_ORDERPRIORITY), Literal(order.orderpriority))
+        yield Triple(subject, IRI(P_O_SHIPPRIORITY), literal_from_python(order.shippriority))
+        yield Triple(subject, IRI(P_O_TOTALPRICE), literal_from_python(order.totalprice))
+    for line in data.lineitems:
+        subject = lineitem_iri(line.orderkey, line.linenumber)
+        yield Triple(subject, type_pred, IRI(CLASS_LINEITEM))
+        yield Triple(subject, IRI(P_L_ORDERKEY), order_iri(line.orderkey))
+        yield Triple(subject, IRI(P_L_LINENUMBER), literal_from_python(line.linenumber))
+        yield Triple(subject, IRI(P_L_QUANTITY), literal_from_python(line.quantity))
+        yield Triple(subject, IRI(P_L_EXTENDEDPRICE), literal_from_python(line.extendedprice))
+        yield Triple(subject, IRI(P_L_DISCOUNT), literal_from_python(line.discount))
+        yield Triple(subject, IRI(P_L_TAX), literal_from_python(line.tax))
+        yield Triple(subject, IRI(P_L_SHIPDATE), Literal(line.shipdate.isoformat(), datatype=XSD_DATE))
+        yield Triple(subject, IRI(P_L_RETURNFLAG), Literal(line.returnflag))
+        yield Triple(subject, IRI(P_L_LINESTATUS), Literal(line.linestatus))
+
+
+def generate_rdfh_triples(scale_factor: float = 0.01, seed: int = 20130408) -> List[Triple]:
+    """Generate RDF-H triples at the given scale factor."""
+    data = generate_tpch(TpchConfig(scale_factor=scale_factor, seed=seed))
+    return list(tpch_to_triples(data))
+
+
+def expected_subject_counts(data: TpchData) -> Dict[str, int]:
+    """Expected number of subjects per RDF-H class (for tests)."""
+    return {
+        CLASS_CUSTOMER: len(data.customers),
+        CLASS_ORDER: len(data.orders),
+        CLASS_LINEITEM: len(data.lineitems),
+    }
+
+
+def sub_order_keys() -> Dict[str, str]:
+    """The sub-ordering the paper applies: LINEITEM on shipdate, ORDERS on orderdate.
+
+    Keys are emergent-table labels (the labeling pass names tables after their
+    ``rdf:type`` object's local name), values are predicate IRIs.
+    """
+    return {
+        "Lineitem": P_L_SHIPDATE,
+        "Order": P_O_ORDERDATE,
+    }

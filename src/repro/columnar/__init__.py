@@ -1,0 +1,23 @@
+"""Columnar substrate: columns, zone maps, buffer pool and cost model."""
+
+from .bufferpool import BufferPool, DEFAULT_PAGE_SIZE
+from .column import Column, NULL_OID
+from .cost import CostModel, CostTracker, QueryCost
+from .stats import ColumnStats, EquiWidthHistogram, PredicateCooccurrence
+from .zonemap import DEFAULT_ZONE_SIZE, Zone, ZoneMap
+
+__all__ = [
+    "BufferPool",
+    "Column",
+    "ColumnStats",
+    "CostModel",
+    "CostTracker",
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_ZONE_SIZE",
+    "EquiWidthHistogram",
+    "NULL_OID",
+    "PredicateCooccurrence",
+    "QueryCost",
+    "Zone",
+    "ZoneMap",
+]

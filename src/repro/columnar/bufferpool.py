@@ -1,0 +1,115 @@
+"""A page-granular buffer-pool simulator.
+
+The paper's Table I distinguishes *Cold* runs (OS page cache empty, every
+page touched comes from disk) from *Hot* runs (everything cached).  To
+reproduce the distinction in a hardware-independent way, every column in
+this library is divided into fixed-size logical pages and every access goes
+through a :class:`BufferPool`:
+
+* a **miss** increments ``page_reads`` on the active :class:`CostTracker`
+  and brings the page into an LRU-managed cache,
+* a **hit** increments ``page_hits``.
+
+``reset_cold()`` empties the cache (a cold run); ``warm(...)`` pre-loads the
+pages a dataset occupies (a hot run).  Locality now has the same observable
+consequence it has on real hardware: a query that touches a few contiguous
+pages causes few misses, one that hops all over an index causes many.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from .cost import CostTracker
+
+DEFAULT_PAGE_SIZE = 1024
+"""Number of column values per logical page (8 KiB of 8-byte OIDs)."""
+
+
+class BufferPool:
+    """LRU cache of ``(segment_id, page_number)`` pages with cost accounting."""
+
+    def __init__(self, capacity_pages: int = 1 << 20, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("buffer pool capacity must be positive")
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.tracker = CostTracker()
+
+    # -- cache state ---------------------------------------------------------
+
+    def reset_cold(self) -> None:
+        """Empty the cache, simulating a cold start."""
+        self._pages.clear()
+
+    def warm(self, segment_id: str, num_values: int) -> None:
+        """Pre-load every page of a segment (simulating a hot cache)."""
+        for page in range(self.pages_for(num_values)):
+            self._insert((segment_id, page))
+
+    def cached_page_count(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._pages)
+
+    def contains(self, segment_id: str, page: int) -> bool:
+        """Whether a specific page is cached (does not touch LRU order)."""
+        return (segment_id, page) in self._pages
+
+    def pages_for(self, num_values: int) -> int:
+        """Number of pages needed to hold ``num_values`` values."""
+        if num_values <= 0:
+            return 0
+        return (num_values + self.page_size - 1) // self.page_size
+
+    # -- access --------------------------------------------------------------
+
+    def access_value(self, segment_id: str, index: int) -> bool:
+        """Touch the page containing value ``index``; return True on a hit."""
+        return self.access_page(segment_id, index // self.page_size)
+
+    def access_page(self, segment_id: str, page: int) -> bool:
+        """Touch one page; return True on a hit, False on a miss."""
+        key = (segment_id, page)
+        if key in self._pages:
+            self._pages.move_to_end(key)
+            self.tracker.page_hits += 1
+            return True
+        self.tracker.page_reads += 1
+        self._insert(key)
+        return False
+
+    def access_range(self, segment_id: str, start: int, stop: int) -> int:
+        """Touch every page overlapping value indexes ``[start, stop)``.
+
+        Returns the number of misses.  ``stop`` is exclusive; an empty range
+        touches nothing.
+        """
+        if stop <= start:
+            return 0
+        first_page = start // self.page_size
+        last_page = (stop - 1) // self.page_size
+        misses = 0
+        for page in range(first_page, last_page + 1):
+            if not self.access_page(segment_id, page):
+                misses += 1
+        return misses
+
+    def access_pages(self, segment_id: str, pages: Iterable[int]) -> int:
+        """Touch an explicit set of pages; return the number of misses."""
+        misses = 0
+        for page in pages:
+            if not self.access_page(segment_id, page):
+                misses += 1
+        return misses
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert(self, key: tuple[str, int]) -> None:
+        self._pages[key] = None
+        self._pages.move_to_end(key)
+        while len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)

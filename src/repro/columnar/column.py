@@ -1,0 +1,213 @@
+"""BAT-style integer columns with page-accounted access.
+
+MonetDB stores every column as a BAT (Binary Association Table): a dense
+array of values addressed by position.  :class:`Column` mirrors that — a
+NumPy ``int64`` array plus metadata — and routes every read through an
+optional :class:`~repro.columnar.bufferpool.BufferPool` so that the cost of
+an access pattern (sequential vs random) is observable.
+
+Missing values (SQL NULL, used for 0..1 properties in a characteristic set
+table) are encoded as :data:`NULL_OID`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from .bufferpool import BufferPool
+
+NULL_OID = -1
+"""Sentinel OID representing a missing (NULL) value in a column."""
+
+
+class Column:
+    """A named, optionally sorted, array of int64 values.
+
+    Parameters
+    ----------
+    segment_id:
+        Globally unique name used for buffer-pool page accounting.
+    values:
+        The column data; copied into a contiguous int64 array.
+    sorted_ascending:
+        Declare the column sorted; enables binary-search range selection.
+        The declaration is validated.
+    pool:
+        Buffer pool used for page accounting.  ``None`` disables accounting
+        (useful in unit tests of pure logic).
+    """
+
+    def __init__(
+        self,
+        segment_id: str,
+        values: Sequence[int] | np.ndarray,
+        sorted_ascending: bool = False,
+        pool: Optional[BufferPool] = None,
+    ) -> None:
+        self.segment_id = segment_id
+        self.data = np.ascontiguousarray(np.asarray(values, dtype=np.int64))
+        if self.data.ndim != 1:
+            raise StorageError(f"column {segment_id!r} must be one-dimensional")
+        self.sorted_ascending = bool(sorted_ascending)
+        if self.sorted_ascending and len(self.data) > 1:
+            if not bool(np.all(self.data[:-1] <= self.data[1:])):
+                raise StorageError(f"column {segment_id!r} declared sorted but is not")
+        self.pool = pool
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.segment_id!r}, n={len(self)}, sorted={self.sorted_ascending})"
+
+    def attach_pool(self, pool: Optional[BufferPool]) -> None:
+        """Attach (or detach) the buffer pool used for accounting."""
+        self.pool = pool
+
+    def page_count(self) -> int:
+        """Number of logical pages the column occupies."""
+        if self.pool is None:
+            return 0
+        return self.pool.pages_for(len(self))
+
+    # -- accounting helpers ---------------------------------------------------
+
+    def _touch_range(self, start: int, stop: int) -> None:
+        if self.pool is not None:
+            self.pool.access_range(self.segment_id, start, stop)
+            self.pool.tracker.tuples_scanned += max(0, stop - start)
+
+    def _touch_value(self, index: int) -> None:
+        if self.pool is not None:
+            self.pool.access_value(self.segment_id, index)
+            self.pool.tracker.tuples_probed += 1
+
+    def _touch_positions(self, positions: np.ndarray) -> None:
+        if self.pool is None or positions.size == 0:
+            return
+        pages = np.unique(positions // self.pool.page_size)
+        self.pool.access_pages(self.segment_id, pages.tolist())
+        self.pool.tracker.tuples_probed += int(positions.size)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, index: int) -> int:
+        """Positional point read (accounted as a probe)."""
+        if not 0 <= index < len(self):
+            raise StorageError(f"position {index} out of range for column {self.segment_id!r}")
+        self._touch_value(index)
+        return int(self.data[index])
+
+    def slice(self, start: int, stop: int) -> np.ndarray:
+        """Positional range read ``[start, stop)`` (accounted as a scan)."""
+        start = max(0, start)
+        stop = min(len(self), stop)
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        self._touch_range(start, stop)
+        return self.data[start:stop]
+
+    def gather(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Fetch values at arbitrary positions (accounted per touched page).
+
+        This is the positional join primitive MonetDB calls *leftfetchjoin*;
+        random positions touch many pages, sequential positions few — which
+        is exactly the locality effect subject clustering is after.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (pos.min() < 0 or pos.max() >= len(self)):
+            raise StorageError(f"gather positions out of range for column {self.segment_id!r}")
+        self._touch_positions(pos)
+        return self.data[pos]
+
+    def scan_all(self) -> np.ndarray:
+        """Full sequential scan of the column."""
+        return self.slice(0, len(self))
+
+    # -- selection -----------------------------------------------------------
+
+    def select_equal(self, value: int) -> np.ndarray:
+        """Return positions where the column equals ``value``."""
+        if self.sorted_ascending:
+            lo = int(np.searchsorted(self.data, value, side="left"))
+            hi = int(np.searchsorted(self.data, value, side="right"))
+            self._touch_range(lo, hi)
+            if self.pool is not None:
+                self.pool.tracker.tuples_probed += 2  # binary search probes
+            return np.arange(lo, hi, dtype=np.int64)
+        self._touch_range(0, len(self))
+        return np.nonzero(self.data == value)[0].astype(np.int64)
+
+    def select_range(
+        self,
+        low: Optional[int] = None,
+        high: Optional[int] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Return positions where ``low <= value <= high`` (bounds optional).
+
+        On a sorted column this is two binary searches plus a contiguous
+        range; on an unsorted column it is a full scan.
+        """
+        if self.sorted_ascending:
+            lo_idx = 0
+            hi_idx = len(self)
+            if low is not None:
+                side = "left" if low_inclusive else "right"
+                lo_idx = int(np.searchsorted(self.data, low, side=side))
+            if high is not None:
+                side = "right" if high_inclusive else "left"
+                hi_idx = int(np.searchsorted(self.data, high, side=side))
+            if hi_idx < lo_idx:
+                hi_idx = lo_idx
+            self._touch_range(lo_idx, hi_idx)
+            if self.pool is not None:
+                self.pool.tracker.tuples_probed += 2
+            return np.arange(lo_idx, hi_idx, dtype=np.int64)
+        self._touch_range(0, len(self))
+        mask = np.ones(len(self), dtype=bool)
+        if low is not None:
+            mask &= self.data >= low if low_inclusive else self.data > low
+        if high is not None:
+            mask &= self.data <= high if high_inclusive else self.data < high
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def select_in(self, values: Iterable[int]) -> np.ndarray:
+        """Return positions where the value is in ``values`` (full scan)."""
+        wanted = np.asarray(sorted(set(int(v) for v in values)), dtype=np.int64)
+        if wanted.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self._touch_range(0, len(self))
+        mask = np.isin(self.data, wanted)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def not_null_positions(self) -> np.ndarray:
+        """Return positions holding a non-NULL value (full scan)."""
+        self._touch_range(0, len(self))
+        return np.nonzero(self.data != NULL_OID)[0].astype(np.int64)
+
+    # -- statistics ----------------------------------------------------------
+
+    def min_max(self, ignore_null: bool = True) -> tuple[int, int] | None:
+        """Return ``(min, max)`` over the column, or ``None`` if empty."""
+        data = self.data
+        if ignore_null:
+            data = data[data != NULL_OID]
+        if data.size == 0:
+            return None
+        return int(data.min()), int(data.max())
+
+    def null_count(self) -> int:
+        """Number of NULL values in the column (no accounting: metadata op)."""
+        return int(np.count_nonzero(self.data == NULL_OID))
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL values (no accounting: metadata op)."""
+        data = self.data[self.data != NULL_OID]
+        return int(np.unique(data).size)

@@ -1,0 +1,133 @@
+"""Netezza-style zone maps over columns.
+
+A zone map stores, for every fixed-size zone (block of consecutive rows) of
+a column, the minimum and maximum value found in that zone.  A range
+predicate can then skip every zone whose ``[min, max]`` interval does not
+intersect the predicate — without reading the zone's pages at all.
+
+The paper uses zone maps twice:
+
+* on the sub-ordering attribute of a clustered characteristic set (e.g.
+  LINEITEM ordered on ``shipdate``), a date range selection touches only the
+  zones that can contain matching rows;
+* across a foreign key: given the selected LINEITEM rows, the zone map on
+  the ``orderkey``-referencing column yields the narrow range of ORDERS
+  subject OIDs that can be referenced, so the date restriction is
+  effectively *pushed through the join* (and vice versa) — exploiting the
+  strong order/ship date correlation in TPC-H.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .column import NULL_OID, Column
+
+DEFAULT_ZONE_SIZE = 1024
+"""Rows per zone; chosen equal to the default page size so a pruned zone is a pruned page."""
+
+
+@dataclass(frozen=True)
+class Zone:
+    """Summary of one block of rows: positional extent and value extent."""
+
+    start_row: int
+    end_row: int  # exclusive
+    min_value: int
+    max_value: int
+
+    def row_count(self) -> int:
+        return self.end_row - self.start_row
+
+    def overlaps(self, low: Optional[int], high: Optional[int]) -> bool:
+        """Whether the zone's value interval intersects ``[low, high]``."""
+        if self.min_value > self.max_value:
+            return False  # empty (all-NULL) zone can never satisfy a predicate
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+
+class ZoneMap:
+    """Per-zone min/max summaries of a column."""
+
+    def __init__(self, zones: List[Zone], zone_size: int, total_rows: int) -> None:
+        self.zones = zones
+        self.zone_size = zone_size
+        self.total_rows = total_rows
+
+    @classmethod
+    def build(cls, values: Sequence[int] | np.ndarray, zone_size: int = DEFAULT_ZONE_SIZE) -> "ZoneMap":
+        """Build a zone map over raw values (NULLs are ignored per zone)."""
+        data = np.asarray(values, dtype=np.int64)
+        zones: List[Zone] = []
+        total = int(data.shape[0])
+        for start in range(0, total, zone_size):
+            end = min(start + zone_size, total)
+            chunk = data[start:end]
+            valid = chunk[chunk != NULL_OID]
+            if valid.size == 0:
+                # a zone of only NULLs can never match a range predicate
+                zones.append(Zone(start, end, min_value=1, max_value=0))
+            else:
+                zones.append(Zone(start, end, int(valid.min()), int(valid.max())))
+        return cls(zones, zone_size, total)
+
+    @classmethod
+    def build_for_column(cls, column: Column, zone_size: int = DEFAULT_ZONE_SIZE) -> "ZoneMap":
+        """Build a zone map directly over a :class:`Column` (metadata op, not accounted)."""
+        return cls.build(column.data, zone_size=zone_size)
+
+    # -- pruning -------------------------------------------------------------
+
+    def candidate_zones(self, low: Optional[int], high: Optional[int]) -> List[Zone]:
+        """Zones whose value interval intersects the predicate interval."""
+        return [zone for zone in self.zones if zone.overlaps(low, high)]
+
+    def candidate_row_ranges(self, low: Optional[int], high: Optional[int]) -> List[tuple[int, int]]:
+        """Candidate row ranges ``[start, end)``, adjacent zones coalesced."""
+        ranges: List[tuple[int, int]] = []
+        for zone in self.candidate_zones(low, high):
+            if ranges and ranges[-1][1] == zone.start_row:
+                ranges[-1] = (ranges[-1][0], zone.end_row)
+            else:
+                ranges.append((zone.start_row, zone.end_row))
+        return ranges
+
+    def candidate_row_count(self, low: Optional[int], high: Optional[int]) -> int:
+        """Total number of rows in candidate zones."""
+        return sum(end - start for start, end in self.candidate_row_ranges(low, high))
+
+    def selectivity(self, low: Optional[int], high: Optional[int]) -> float:
+        """Fraction of rows that survive zone pruning (1.0 when no pruning)."""
+        if self.total_rows == 0:
+            return 0.0
+        return self.candidate_row_count(low, high) / self.total_rows
+
+    def value_bounds_for_rows(self, row_start: int, row_end: int) -> Optional[tuple[int, int]]:
+        """Min/max value over the zones overlapping a positional row range.
+
+        This is the cross-table push-down primitive: given the row range of
+        the *referencing* side selected by a predicate, return the value
+        bounds of the referenced OIDs within it.
+        """
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for zone in self.zones:
+            if zone.end_row <= row_start or zone.start_row >= row_end:
+                continue
+            if zone.min_value > zone.max_value:
+                continue  # all-NULL zone
+            lo = zone.min_value if lo is None else min(lo, zone.min_value)
+            hi = zone.max_value if hi is None else max(hi, zone.max_value)
+        if lo is None or hi is None:
+            return None
+        return lo, hi
+
+    def __len__(self) -> int:
+        return len(self.zones)

@@ -1,0 +1,5 @@
+"""High-level facade: :class:`RDFStore` and its configuration."""
+
+from .store import RDFStore, StoreConfig
+
+__all__ = ["RDFStore", "StoreConfig"]

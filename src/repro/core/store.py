@@ -1,0 +1,258 @@
+"""The :class:`RDFStore` facade: the library's main entry point.
+
+A store is built in the order the paper's architecture prescribes:
+
+1. :meth:`RDFStore.load` — parse / accept triples, dictionary-encode them
+   (parse order), value-order the literal OIDs;
+2. :meth:`RDFStore.discover_schema` — run characteristic-set discovery;
+3. :meth:`RDFStore.cluster` — re-assign subject OIDs by CS (subject
+   clustering), build the clustered store with optional zone maps;
+4. query — :meth:`RDFStore.sparql` (Default or RDFscan/RDFjoin scheme) and
+   :meth:`RDFStore.sql` over the emergent relational view.
+
+``RDFStore.build(...)`` runs the whole pipeline in one call.  The store also
+exposes cold/hot buffer-pool control so experiments can reproduce the
+cold-vs-hot columns of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..columnar import BufferPool, CostModel
+from ..cs import DiscoveryConfig, EmergentSchema, discover_schema
+from ..engine import ExecutionContext
+from ..errors import StorageError
+from ..model import Graph, IRI, TermDictionary, Triple
+from ..rio import parse_rdf
+from ..sparql import PlannerOptions, QueryResult, SparqlEngine
+from ..sql import Catalog, SqlEngine, SqlResult
+from ..storage import (
+    ClusteredStore,
+    ClusteringPlan,
+    ExhaustiveIndexStore,
+    cluster_subjects,
+    encode_graph,
+    value_order_literals,
+)
+
+
+@dataclass
+class StoreConfig:
+    """Configuration of an :class:`RDFStore`."""
+
+    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    buffer_pool_pages: int = 1 << 20
+    page_size: int = 1024
+    zone_size: int = 1024
+    build_exhaustive_indexes: bool = True
+    build_zone_maps: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+
+
+class RDFStore:
+    """Self-organizing RDF store: triples in, SQL/SPARQL out."""
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self.config = config or StoreConfig()
+        self.dictionary = TermDictionary()
+        self.matrix: np.ndarray = np.empty((0, 3), dtype=np.int64)
+        self.pool = BufferPool(capacity_pages=self.config.buffer_pool_pages,
+                               page_size=self.config.page_size)
+        self.schema: Optional[EmergentSchema] = None
+        self.index_store: Optional[ExhaustiveIndexStore] = None
+        self.clustered_store: Optional[ClusteredStore] = None
+        self.clustering_plan: Optional[ClusteringPlan] = None
+        self.catalog: Optional[Catalog] = None
+        self._context: Optional[ExecutionContext] = None
+        self._clustered = False
+
+    # -- construction pipeline ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        source: Graph | Iterable[Triple] | str,
+        config: Optional[StoreConfig] = None,
+        sort_keys: Optional[Dict[int, int]] = None,
+        sort_key_names: Optional[Dict[str, str]] = None,
+        cluster: bool = True,
+    ) -> "RDFStore":
+        """Run the full pipeline: load, discover, (optionally) cluster."""
+        store = cls(config)
+        store.load(source)
+        store.discover_schema()
+        if cluster:
+            store.cluster(sort_keys=sort_keys, sort_key_names=sort_key_names)
+        else:
+            store.build_indexes()
+        return store
+
+    def load(self, source: Graph | Iterable[Triple] | str, syntax: str = "ntriples") -> int:
+        """Load decoded triples (or RDF text) and encode them in parse order."""
+        if isinstance(source, str):
+            triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
+        else:
+            triples = source
+        self.dictionary, self.matrix = encode_graph(triples, self.dictionary)
+        self.matrix = value_order_literals(self.matrix, self.dictionary)
+        self._invalidate()
+        return int(self.matrix.shape[0])
+
+    def discover_schema(self, config: Optional[DiscoveryConfig] = None) -> EmergentSchema:
+        """Run characteristic-set discovery over the loaded triples."""
+        if self.matrix.shape[0] == 0:
+            raise StorageError("no triples loaded; call load() first")
+        self.schema = discover_schema(self.matrix, self.dictionary,
+                                      config or self.config.discovery)
+        self.catalog = Catalog(self.schema, self.dictionary)
+        self._invalidate(keep_schema=True)
+        return self.schema
+
+    def cluster(self, sort_keys: Optional[Dict[int, int]] = None,
+                sort_key_names: Optional[Dict[str, str]] = None) -> ClusteringPlan:
+        """Apply subject clustering and (re)build the physical stores.
+
+        ``sort_keys`` maps CS id -> predicate OID used to sub-order the CS's
+        subjects; ``sort_key_names`` is the friendlier variant mapping table
+        label -> predicate IRI string.
+        """
+        schema = self.require_schema()
+        resolved = dict(sort_keys or {})
+        if sort_key_names:
+            resolved.update(self._resolve_sort_key_names(sort_key_names))
+        self.matrix, self.clustering_plan = cluster_subjects(
+            self.matrix, self.dictionary, schema, resolved)
+        self._clustered = True
+        self.build_indexes()
+        return self.clustering_plan
+
+    def build_indexes(self) -> None:
+        """Build the exhaustive index store and (when clustered) the clustered store."""
+        schema = self.schema
+        if self.config.build_exhaustive_indexes:
+            self.index_store = ExhaustiveIndexStore(self.matrix, pool=self.pool)
+        if schema is not None and self._clustered:
+            zone_map_properties = None
+            if self.config.build_zone_maps:
+                zone_map_properties = {cs_id: list(table.properties)
+                                       for cs_id, table in schema.tables.items()}
+            self.clustered_store = ClusteredStore.build(
+                self.matrix, schema, pool=self.pool,
+                zone_map_properties=zone_map_properties,
+                zone_size=self.config.zone_size,
+            )
+        self._context = None
+
+    def _resolve_sort_key_names(self, sort_key_names: Dict[str, str]) -> Dict[int, int]:
+        schema = self.require_schema()
+        resolved: Dict[int, int] = {}
+        for table_label, predicate_iri in sort_key_names.items():
+            predicate_oid = self.dictionary.lookup_term(IRI(predicate_iri))
+            if predicate_oid is None:
+                continue
+            for table in schema.tables.values():
+                if (table.label or f"cs{table.cs_id}").lower() == table_label.lower():
+                    resolved[table.cs_id] = predicate_oid
+        return resolved
+
+    def _invalidate(self, keep_schema: bool = False) -> None:
+        self.index_store = None
+        self.clustered_store = None
+        self.clustering_plan = None
+        self._clustered = False
+        self._context = None
+        if not keep_schema:
+            self.schema = None
+            self.catalog = None
+
+    # -- accessors --------------------------------------------------------------------
+
+    def require_schema(self) -> EmergentSchema:
+        if self.schema is None:
+            raise StorageError("schema not discovered yet; call discover_schema() first")
+        return self.schema
+
+    def require_catalog(self) -> Catalog:
+        if self.catalog is None:
+            raise StorageError("catalog not available; call discover_schema() first")
+        return self.catalog
+
+    @property
+    def is_clustered(self) -> bool:
+        return self._clustered
+
+    def triple_count(self) -> int:
+        return int(self.matrix.shape[0])
+
+    def context(self) -> ExecutionContext:
+        """The execution context shared by SPARQL and SQL engines."""
+        if self._context is None:
+            if self.index_store is None and self.clustered_store is None:
+                self.build_indexes()
+            self._context = ExecutionContext(
+                dictionary=self.dictionary,
+                pool=self.pool,
+                index_store=self.index_store,
+                clustered_store=self.clustered_store,
+                schema=self.schema,
+                cost_model=self.config.cost_model,
+            )
+        return self._context
+
+    # -- cache control ------------------------------------------------------------------
+
+    def reset_cold(self) -> None:
+        """Empty the buffer pool (cold cache)."""
+        self.pool.reset_cold()
+
+    def warm(self) -> None:
+        """Pre-load every store's pages (hot cache)."""
+        if self.index_store is not None:
+            self.index_store.warm()
+        if self.clustered_store is not None:
+            self.clustered_store.warm()
+
+    # -- querying ----------------------------------------------------------------------
+
+    def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
+        """Run a SPARQL query; the plan scheme defaults to RDFscan/RDFjoin."""
+        return SparqlEngine(self.context()).query(text, options)
+
+    def sparql_plan(self, text: str, options: Optional[PlannerOptions] = None):
+        """Parse and plan (but do not run) a SPARQL query."""
+        return SparqlEngine(self.context()).prepare(text, options)[1]
+
+    def sql(self, text: str) -> SqlResult:
+        """Run a SQL query against the emergent relational view."""
+        return SqlEngine(self.context(), self.require_catalog()).query(text)
+
+    def decode_rows(self, result: QueryResult | SqlResult) -> List[tuple]:
+        """Decode a query result's OIDs back to Python values."""
+        return result.decoded_rows(self.context())
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def schema_summary(self) -> List[str]:
+        """Human readable schema listing."""
+        return self.require_schema().summary_lines(self.dictionary)
+
+    def storage_summary(self) -> Dict[str, object]:
+        """Key figures about the physical organization."""
+        summary: Dict[str, object] = {
+            "triples": self.triple_count(),
+            "terms": len(self.dictionary),
+            "clustered": self.is_clustered,
+        }
+        if self.schema is not None:
+            summary["tables"] = len(self.schema.tables)
+            summary["foreign_keys"] = len(self.schema.foreign_keys)
+            summary["triple_coverage"] = self.schema.coverage.triple_coverage()
+            summary["subject_coverage"] = self.schema.coverage.subject_coverage()
+        if self.clustered_store is not None:
+            summary["regular_fraction"] = self.clustered_store.regular_fraction()
+            summary["irregular_triples"] = len(self.clustered_store.irregular)
+        return summary

@@ -1,0 +1,82 @@
+"""Characteristic-set detection and emergent-schema discovery (the paper's
+primary contribution)."""
+
+from .builder import (
+    DiscoveryConfig,
+    DiscoveryReport,
+    compute_coverage,
+    discover_schema,
+    discover_schema_from_property_sets,
+)
+from .detect import (
+    DetectionResult,
+    ExactCS,
+    coverage_at_threshold,
+    detect_characteristic_sets,
+    detection_from_triples,
+    support_histogram,
+)
+from .finetune import FinetuneConfig, finetune_schema
+from .generalize import GeneralizationConfig, GeneralizationResult, GeneralizedCS, generalize, jaccard
+from .labeling import LabelingConfig, label_schema, sanitize_identifier
+from .relationships import RelationshipConfig, RelationshipResult, discover_relationships
+from .schema_model import (
+    CharacteristicSet,
+    EmergentSchema,
+    ForeignKey,
+    Multiplicity,
+    PropertyKind,
+    PropertySpec,
+    SchemaCoverage,
+)
+from .summarize import (
+    SchemaSummary,
+    expand_over_foreign_keys,
+    summarize_by_keywords,
+    summarize_by_support,
+    top_k_summary,
+)
+from .typing import TypingConfig, analyze_property_objects, assign_property_kinds, literal_kind
+
+__all__ = [
+    "CharacteristicSet",
+    "DetectionResult",
+    "DiscoveryConfig",
+    "DiscoveryReport",
+    "EmergentSchema",
+    "ExactCS",
+    "FinetuneConfig",
+    "ForeignKey",
+    "GeneralizationConfig",
+    "GeneralizationResult",
+    "GeneralizedCS",
+    "LabelingConfig",
+    "Multiplicity",
+    "PropertyKind",
+    "PropertySpec",
+    "RelationshipConfig",
+    "RelationshipResult",
+    "SchemaCoverage",
+    "SchemaSummary",
+    "TypingConfig",
+    "analyze_property_objects",
+    "assign_property_kinds",
+    "compute_coverage",
+    "coverage_at_threshold",
+    "detect_characteristic_sets",
+    "detection_from_triples",
+    "discover_relationships",
+    "discover_schema",
+    "discover_schema_from_property_sets",
+    "expand_over_foreign_keys",
+    "finetune_schema",
+    "generalize",
+    "jaccard",
+    "label_schema",
+    "literal_kind",
+    "sanitize_identifier",
+    "summarize_by_keywords",
+    "summarize_by_support",
+    "support_histogram",
+    "top_k_summary",
+]

@@ -1,0 +1,111 @@
+"""Foreign-key (relationship) discovery between characteristic sets.
+
+"As a URI property of one CS always refers in the object field to members of
+one other CS, this is a foreign key between these two CS's."  In practice the
+reference is rarely *always* to one CS, so the discovery is thresholded: a
+property of CS *A* whose IRI objects land in CS *B* for at least
+``min_confidence`` of its references becomes a foreign key ``A.p -> B``.
+
+The pass also computes *indirect support*: the number of incoming references
+each CS receives.  The paper uses this to keep small-but-referenced CSs in
+the schema ("rather than looking at direct support, we add incoming links to
+the CS to the tally").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from .schema_model import ForeignKey
+from .typing import PropertyObservation
+
+
+@dataclass(frozen=True)
+class RelationshipConfig:
+    """Tuning knobs for foreign-key discovery."""
+
+    min_confidence: float = 0.8
+    """Minimum fraction of a property's IRI objects that must fall in one
+    target CS for the property to count as a foreign key to it."""
+    min_iri_fraction: float = 0.5
+    """The property's objects must be IRIs at least this often; properties
+    holding mostly literals are never foreign keys."""
+    min_references: int = 1
+    """Minimum absolute number of resolved references."""
+
+
+@dataclass
+class RelationshipResult:
+    """Discovered foreign keys plus incoming-reference tallies."""
+
+    foreign_keys: List[ForeignKey]
+    incoming_references: Dict[int, int]
+
+    def fk_map(self) -> Dict[Tuple[int, int], ForeignKey]:
+        """Index the foreign keys by ``(source CS, property)``."""
+        return {(fk.source_cs, fk.predicate_oid): fk for fk in self.foreign_keys}
+
+
+def discover_relationships(
+    observations: Mapping[Tuple[int, int], PropertyObservation],
+    config: RelationshipConfig | None = None,
+) -> RelationshipResult:
+    """Derive foreign keys from the per-(CS, property) object observations."""
+    config = config or RelationshipConfig()
+    foreign_keys: List[ForeignKey] = []
+    incoming: Dict[int, int] = {}
+
+    for (source_cs, predicate), obs in sorted(observations.items()):
+        # every resolved reference counts towards the target's indirect support,
+        # whether or not the property ends up qualifying as a foreign key
+        for target_cs, count in obs.target_cs_counts.items():
+            incoming[target_cs] = incoming.get(target_cs, 0) + count
+
+        if obs.total == 0 or obs.iri_fraction() < config.min_iri_fraction:
+            continue
+        resolved = sum(obs.target_cs_counts.values())
+        if resolved < config.min_references:
+            continue
+        target_cs, count = max(obs.target_cs_counts.items(), key=lambda item: item[1], default=(None, 0))
+        if target_cs is None:
+            continue
+        confidence = count / resolved if resolved else 0.0
+        if confidence >= config.min_confidence:
+            foreign_keys.append(ForeignKey(
+                source_cs=source_cs,
+                predicate_oid=predicate,
+                target_cs=target_cs,
+                confidence=confidence,
+            ))
+
+    return RelationshipResult(foreign_keys=foreign_keys, incoming_references=incoming)
+
+
+def one_to_one_links(
+    foreign_keys: List[ForeignKey],
+    cs_supports: Mapping[int, int],
+    observations: Mapping[Tuple[int, int], PropertyObservation],
+    tolerance: float = 0.1,
+) -> List[Tuple[int, int, int]]:
+    """Find foreign keys that look like 1-1 links between two CSs.
+
+    Returns ``(source_cs, predicate, target_cs)`` triples where the number of
+    references roughly equals both the source's and target's support — the
+    pattern typical of blank-node satellites that fine-tuning may merge back
+    into their parent table.
+    """
+    links: List[Tuple[int, int, int]] = []
+    for fk in foreign_keys:
+        obs = observations.get((fk.source_cs, fk.predicate_oid))
+        if obs is None:
+            continue
+        references = obs.target_cs_counts.get(fk.target_cs, 0)
+        source_support = cs_supports.get(fk.source_cs, 0)
+        target_support = cs_supports.get(fk.target_cs, 0)
+        if source_support == 0 or target_support == 0:
+            continue
+        if (abs(references - source_support) / source_support <= tolerance
+                and abs(references - target_support) / target_support <= tolerance):
+            links.append((fk.source_cs, fk.predicate_oid, fk.target_cs))
+    return links

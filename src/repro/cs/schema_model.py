@@ -1,0 +1,254 @@
+"""Data model of the emergent schema: characteristic sets, properties,
+foreign keys and the schema that groups them.
+
+A *characteristic set* (CS) is the set of properties that co-occur on a
+subject.  After detection and refinement, each surviving CS becomes a
+relational-style table: a list of member subjects plus, for each property, a
+column specification (multiplicity, inferred type, optional foreign key
+target).  The :class:`EmergentSchema` bundles the tables, the foreign-key
+graph and coverage accounting, and is what the storage layer, the SQL view
+and the optimizer all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class Multiplicity(Enum):
+    """How many objects a property has per subject within a CS."""
+
+    EXACTLY_ONE = "1..1"
+    ZERO_OR_ONE = "0..1"
+    MANY = "0..n"
+
+
+class PropertyKind(Enum):
+    """The inferred value class of a property's objects."""
+
+    IRI = "iri"
+    STRING = "string"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    DATETIME = "datetime"
+    MIXED = "mixed"
+
+
+@dataclass
+class PropertySpec:
+    """Schema information for one property (column) of a characteristic set."""
+
+    predicate_oid: int
+    multiplicity: Multiplicity = Multiplicity.EXACTLY_ONE
+    kind: PropertyKind = PropertyKind.MIXED
+    presence: float = 1.0
+    """Fraction of the CS's subjects that have at least one value."""
+    mean_multiplicity: float = 1.0
+    """Average number of objects per subject that has the property."""
+    fk_target_cs: Optional[int] = None
+    """CS id this property references, when it is a discovered foreign key."""
+    fk_confidence: float = 0.0
+    label: str = ""
+
+    def is_foreign_key(self) -> bool:
+        return self.fk_target_cs is not None
+
+    def is_nullable(self) -> bool:
+        return self.multiplicity is not Multiplicity.EXACTLY_ONE
+
+
+@dataclass
+class CharacteristicSet:
+    """A detected (and possibly refined) characteristic set."""
+
+    cs_id: int
+    properties: Dict[int, PropertySpec]
+    subjects: List[int] = field(default_factory=list)
+    support: int = 0
+    """Number of member subjects (direct support)."""
+    indirect_support: int = 0
+    """Incoming foreign-key references, used when ranking small CSs."""
+    label: str = ""
+    merged_from: List[int] = field(default_factory=list)
+    """Ids of exact CSs that were folded into this one by generalization."""
+    type_signature: tuple = ()
+    """Distinguishes typed variants split from the same property set."""
+
+    def property_oids(self) -> frozenset[int]:
+        """The property set as a frozen set of predicate OIDs."""
+        return frozenset(self.properties)
+
+    def total_support(self) -> int:
+        """Direct plus indirect support (the paper's adjusted tally)."""
+        return self.support + self.indirect_support
+
+    def spec(self, predicate_oid: int) -> PropertySpec:
+        return self.properties[predicate_oid]
+
+    def has_property(self, predicate_oid: int) -> bool:
+        return predicate_oid in self.properties
+
+    def foreign_keys(self) -> List[PropertySpec]:
+        """Property specs that reference another CS."""
+        return [spec for spec in self.properties.values() if spec.is_foreign_key()]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A discovered relationship: ``source_cs.property -> target_cs``."""
+
+    source_cs: int
+    predicate_oid: int
+    target_cs: int
+    confidence: float
+
+    def describe(self) -> str:
+        return (f"CS{self.source_cs}.p{self.predicate_oid} -> CS{self.target_cs} "
+                f"(confidence {self.confidence:.2f})")
+
+
+@dataclass
+class SchemaCoverage:
+    """How much of the input the regular schema captures."""
+
+    total_triples: int = 0
+    covered_triples: int = 0
+    total_subjects: int = 0
+    covered_subjects: int = 0
+
+    def triple_coverage(self) -> float:
+        if self.total_triples == 0:
+            return 0.0
+        return self.covered_triples / self.total_triples
+
+    def subject_coverage(self) -> float:
+        if self.total_subjects == 0:
+            return 0.0
+        return self.covered_subjects / self.total_subjects
+
+
+@dataclass
+class EmergentSchema:
+    """The full discovered schema: tables, relationships and coverage."""
+
+    tables: Dict[int, CharacteristicSet] = field(default_factory=dict)
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    subject_to_cs: Dict[int, int] = field(default_factory=dict)
+    coverage: SchemaCoverage = field(default_factory=SchemaCoverage)
+    irregular_subjects: List[int] = field(default_factory=list)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def cs_of_subject(self, subject_oid: int) -> Optional[int]:
+        """CS id a subject belongs to, or ``None`` if irregular."""
+        return self.subject_to_cs.get(subject_oid)
+
+    def table(self, cs_id: int) -> CharacteristicSet:
+        return self.tables[cs_id]
+
+    def tables_by_support(self) -> List[CharacteristicSet]:
+        """Tables ordered by total support, largest first."""
+        return sorted(self.tables.values(), key=lambda cs: (-cs.total_support(), cs.cs_id))
+
+    def tables_with_property(self, predicate_oid: int) -> List[CharacteristicSet]:
+        """All tables that contain a given property."""
+        return [cs for cs in self.tables.values() if cs.has_property(predicate_oid)]
+
+    def tables_with_properties(self, predicate_oids: Iterable[int]) -> List[CharacteristicSet]:
+        """All tables containing *every* one of the given properties.
+
+        This is the lookup the SPARQL optimizer performs to decide whether a
+        star pattern can be answered by RDFscan over one or more CSs.
+        """
+        wanted = frozenset(predicate_oids)
+        return [cs for cs in self.tables.values() if wanted <= cs.property_oids()]
+
+    def foreign_keys_from(self, cs_id: int) -> List[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.source_cs == cs_id]
+
+    def foreign_keys_to(self, cs_id: int) -> List[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.target_cs == cs_id]
+
+    def find_foreign_key(self, source_cs: int, predicate_oid: int) -> Optional[ForeignKey]:
+        for fk in self.foreign_keys:
+            if fk.source_cs == source_cs and fk.predicate_oid == predicate_oid:
+                return fk
+        return None
+
+    # -- mutation helpers used by the discovery pipeline -----------------------
+
+    def add_table(self, table: CharacteristicSet) -> None:
+        self.tables[table.cs_id] = table
+        for subject in table.subjects:
+            self.subject_to_cs[subject] = table.cs_id
+
+    def remove_table(self, cs_id: int) -> CharacteristicSet:
+        table = self.tables.pop(cs_id)
+        for subject in table.subjects:
+            if self.subject_to_cs.get(subject) == cs_id:
+                del self.subject_to_cs[subject]
+        self.foreign_keys = [fk for fk in self.foreign_keys
+                             if fk.source_cs != cs_id and fk.target_cs != cs_id]
+        return table
+
+    def next_cs_id(self) -> int:
+        if not self.tables:
+            return 0
+        return max(self.tables) + 1
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary_lines(self, dictionary=None) -> List[str]:
+        """Human-readable schema listing (used by examples and benches)."""
+        lines: List[str] = []
+        for cs in self.tables_by_support():
+            name = cs.label or f"CS{cs.cs_id}"
+            lines.append(f"table {name} (cs_id={cs.cs_id}, subjects={cs.support}, "
+                         f"indirect={cs.indirect_support})")
+            for spec in sorted(cs.properties.values(), key=lambda s: s.predicate_oid):
+                pname = spec.label or f"p{spec.predicate_oid}"
+                if dictionary is not None and not spec.label:
+                    try:
+                        pname = dictionary.decode(spec.predicate_oid).local_name()
+                    except Exception:  # noqa: BLE001 - labels are best-effort
+                        pname = f"p{spec.predicate_oid}"
+                fk = f" -> CS{spec.fk_target_cs}" if spec.is_foreign_key() else ""
+                lines.append(f"    {pname}: {spec.kind.value} [{spec.multiplicity.value}]"
+                             f" presence={spec.presence:.2f}{fk}")
+        lines.append(f"foreign keys: {len(self.foreign_keys)}")
+        lines.append(f"triple coverage: {self.coverage.triple_coverage():.1%}")
+        lines.append(f"subject coverage: {self.coverage.subject_coverage():.1%}")
+        return lines
+
+
+def property_presence(subjects_with_property: int, total_subjects: int) -> float:
+    """Presence ratio guarded against empty tables."""
+    if total_subjects == 0:
+        return 0.0
+    return subjects_with_property / total_subjects
+
+
+def classify_multiplicity(presence: float, mean_multiplicity: float,
+                          many_threshold: float = 1.05) -> Multiplicity:
+    """Derive a property's multiplicity class from its statistics."""
+    if mean_multiplicity > many_threshold:
+        return Multiplicity.MANY
+    if presence >= 0.999:
+        return Multiplicity.EXACTLY_ONE
+    return Multiplicity.ZERO_OR_ONE
+
+
+def merge_subject_lists(lists: Sequence[List[int]]) -> List[int]:
+    """Concatenate subject lists preserving order and removing duplicates."""
+    seen: set[int] = set()
+    merged: List[int] = []
+    for lst in lists:
+        for subject in lst:
+            if subject not in seen:
+                seen.add(subject)
+                merged.append(subject)
+    return merged

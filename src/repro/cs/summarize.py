@@ -1,0 +1,107 @@
+"""Schema summarization: reduce a large emergent schema to a digestible view.
+
+Even after generalization a web-scale data set may yield hundreds of tables.
+The paper proposes presenting *reduced* schemas during a query session:
+
+* raise the support threshold so only the most populous tables show, or
+* start from tables matching a keyword and include everything reachable from
+  them over foreign-key links (within a hop limit).
+
+Both reductions are implemented here as pure functions producing a
+:class:`SchemaSummary` — a selection of table ids plus the foreign keys
+between them — which the SQL catalog can expose as an "artificial schema"
+without touching the underlying storage.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from .schema_model import EmergentSchema, ForeignKey
+
+
+@dataclass
+class SchemaSummary:
+    """A reduced view over an emergent schema."""
+
+    table_ids: List[int]
+    foreign_keys: List[ForeignKey]
+    description: str = ""
+
+    def table_count(self) -> int:
+        return len(self.table_ids)
+
+
+def summarize_by_support(schema: EmergentSchema, min_total_support: int,
+                         include_referenced: bool = True) -> SchemaSummary:
+    """Keep tables whose total support meets the threshold.
+
+    With ``include_referenced`` enabled, tables referenced over a foreign key
+    from a kept table are also kept (the paper's completion rule for small
+    dimension tables).
+    """
+    selected: Set[int] = {cs_id for cs_id, table in schema.tables.items()
+                          if table.total_support() >= min_total_support}
+    if include_referenced:
+        changed = True
+        while changed:
+            changed = False
+            for fk in schema.foreign_keys:
+                if fk.source_cs in selected and fk.target_cs not in selected:
+                    selected.add(fk.target_cs)
+                    changed = True
+    return _build_summary(schema, selected,
+                          description=f"support >= {min_total_support}")
+
+
+def summarize_by_keywords(schema: EmergentSchema, keywords: Iterable[str],
+                          hops: int = 1) -> SchemaSummary:
+    """Keep tables whose label or column labels match any keyword, plus
+    tables reachable from them over at most ``hops`` foreign-key links
+    (followed in both directions)."""
+    lowered = [kw.lower() for kw in keywords if kw]
+    seeds: Set[int] = set()
+    for cs_id, table in schema.tables.items():
+        haystack = [table.label.lower()]
+        haystack.extend(spec.label.lower() for spec in table.properties.values())
+        if any(kw in text for kw in lowered for text in haystack if text):
+            seeds.add(cs_id)
+    selected = expand_over_foreign_keys(schema, seeds, hops=hops)
+    return _build_summary(schema, selected,
+                          description=f"keywords {sorted(lowered)} (+{hops} hops)")
+
+
+def expand_over_foreign_keys(schema: EmergentSchema, seeds: Set[int], hops: int = 1) -> Set[int]:
+    """Breadth-first expansion of a seed table set over the FK graph."""
+    adjacency: Dict[int, Set[int]] = {}
+    for fk in schema.foreign_keys:
+        adjacency.setdefault(fk.source_cs, set()).add(fk.target_cs)
+        adjacency.setdefault(fk.target_cs, set()).add(fk.source_cs)
+    selected = set(seeds)
+    frontier = deque((cs_id, 0) for cs_id in seeds)
+    while frontier:
+        cs_id, depth = frontier.popleft()
+        if depth >= hops:
+            continue
+        for neighbour in adjacency.get(cs_id, ()):  # noqa: B905 - sets
+            if neighbour not in selected:
+                selected.add(neighbour)
+                frontier.append((neighbour, depth + 1))
+    return selected
+
+
+def top_k_summary(schema: EmergentSchema, k: int) -> SchemaSummary:
+    """Keep the ``k`` tables with the highest total support (plus their FKs)."""
+    ranked = schema.tables_by_support()
+    selected = {table.cs_id for table in ranked[:max(0, k)]}
+    return _build_summary(schema, selected, description=f"top {k} by support")
+
+
+def _build_summary(schema: EmergentSchema, selected: Set[int], description: str) -> SchemaSummary:
+    kept = sorted(cs_id for cs_id in selected if cs_id in schema.tables)
+    kept_set = set(kept)
+    fks = [fk for fk in schema.foreign_keys
+           if fk.source_cs in kept_set and fk.target_cs in kept_set]
+    return SchemaSummary(table_ids=kept, foreign_keys=fks, description=description)

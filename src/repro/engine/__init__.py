@@ -1,0 +1,74 @@
+"""Query engine: binding tables, physical operators, RDFscan/RDFjoin and the
+executor."""
+
+from .bindings import BindingTable, cross_join, hash_join
+from .context import ExecutionContext
+from .executor import execute_plan, explain_plan
+from .expressions import AggregateSpec, BinaryOp, Expression, NumericConst, NumericVar
+from .operators import (
+    AggregateOp,
+    DistinctOp,
+    ExtendOp,
+    FilterEqualOp,
+    FilterRangeOp,
+    HashJoinOp,
+    IndexScanOp,
+    LimitOp,
+    MaterializedOp,
+    NestedLoopIndexJoinOp,
+    OrderByOp,
+    ProjectOp,
+)
+from .plan import (
+    OidRange,
+    PatternTerm,
+    PhysicalOperator,
+    StarPattern,
+    StarProperty,
+    TriplePatternPlan,
+)
+from .rdfscan import (
+    RDFJoinOp,
+    RDFScanOp,
+    fk_range_from_zonemap,
+    subject_range_for_property_range,
+)
+from .values import ValueDecoder, ValueEncoder
+
+__all__ = [
+    "AggregateOp",
+    "AggregateSpec",
+    "BinaryOp",
+    "BindingTable",
+    "DistinctOp",
+    "ExecutionContext",
+    "Expression",
+    "ExtendOp",
+    "FilterEqualOp",
+    "FilterRangeOp",
+    "HashJoinOp",
+    "IndexScanOp",
+    "LimitOp",
+    "MaterializedOp",
+    "NestedLoopIndexJoinOp",
+    "NumericConst",
+    "NumericVar",
+    "OidRange",
+    "OrderByOp",
+    "PatternTerm",
+    "PhysicalOperator",
+    "ProjectOp",
+    "RDFJoinOp",
+    "RDFScanOp",
+    "StarPattern",
+    "StarProperty",
+    "TriplePatternPlan",
+    "ValueDecoder",
+    "ValueEncoder",
+    "cross_join",
+    "execute_plan",
+    "explain_plan",
+    "fk_range_from_zonemap",
+    "hash_join",
+    "subject_range_for_property_range",
+]

@@ -1,0 +1,204 @@
+"""Binding tables: the tuple streams flowing between physical operators.
+
+A :class:`BindingTable` is a small column-oriented relation: a mapping from
+variable name to a NumPy array, all of equal length.  OID columns are
+``int64``; computed value columns (aggregation inputs/outputs) are
+``float64``.  Operators consume and produce binding tables, mirroring how a
+column store passes BATs between operators rather than row tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class BindingTable:
+    """An ordered set of named columns of equal length."""
+
+    def __init__(self, columns: Mapping[str, np.ndarray] | None = None) -> None:
+        self.columns: Dict[str, np.ndarray] = {}
+        if columns:
+            for name, values in columns.items():
+                self.columns[name] = np.asarray(values)
+        self._validate()
+
+    def _validate(self) -> None:
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"binding table columns have unequal lengths: {lengths}")
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, names: Iterable[str] = ()) -> "BindingTable":
+        return cls({name: np.empty(0, dtype=np.int64) for name in names})
+
+    @classmethod
+    def single_column(cls, name: str, values: np.ndarray | Sequence[int]) -> "BindingTable":
+        return cls({name: np.asarray(values)})
+
+    def copy(self) -> "BindingTable":
+        return BindingTable({name: values.copy() for name, values in self.columns.items()})
+
+    # -- shape ------------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(len(next(iter(self.columns.values()))))
+
+    @property
+    def variables(self) -> List[str]:
+        return list(self.columns)
+
+    def has(self, name: str) -> bool:
+        return name in self.columns
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise ExecutionError(f"unknown binding variable {name!r}; have {sorted(self.columns)}")
+        return self.columns[name]
+
+    # -- transformations ----------------------------------------------------------
+
+    def with_column(self, name: str, values: np.ndarray) -> "BindingTable":
+        """Return a new table with an added/replaced column."""
+        values = np.asarray(values)
+        if self.columns and len(values) != self.num_rows:
+            raise ExecutionError(
+                f"column {name!r} has {len(values)} rows, table has {self.num_rows}")
+        merged = dict(self.columns)
+        merged[name] = values
+        return BindingTable(merged)
+
+    def select_rows(self, positions: np.ndarray) -> "BindingTable":
+        """Return a new table keeping only the given row positions."""
+        return BindingTable({name: values[positions] for name, values in self.columns.items()})
+
+    def filter_mask(self, mask: np.ndarray) -> "BindingTable":
+        """Return a new table keeping rows where ``mask`` is True."""
+        return BindingTable({name: values[mask] for name, values in self.columns.items()})
+
+    def project(self, names: Sequence[str]) -> "BindingTable":
+        """Return a new table containing only the named columns (in order)."""
+        return BindingTable({name: self.column(name) for name in names})
+
+    def rename(self, mapping: Mapping[str, str]) -> "BindingTable":
+        """Return a new table with columns renamed according to ``mapping``."""
+        return BindingTable({mapping.get(name, name): values for name, values in self.columns.items()})
+
+    def concat(self, other: "BindingTable") -> "BindingTable":
+        """Vertical union of two tables with identical variables."""
+        if not self.columns:
+            return other.copy()
+        if not other.columns:
+            return self.copy()
+        if set(self.columns) != set(other.columns):
+            raise ExecutionError(
+                f"cannot concatenate tables with different variables: "
+                f"{sorted(self.columns)} vs {sorted(other.columns)}")
+        return BindingTable({
+            name: np.concatenate([self.columns[name], other.columns[name]])
+            for name in self.columns
+        })
+
+    def distinct(self) -> "BindingTable":
+        """Return a new table with duplicate rows removed (order not preserved)."""
+        if not self.columns or self.num_rows == 0:
+            return self.copy()
+        names = sorted(self.columns)
+        stacked = np.column_stack([np.asarray(self.columns[name], dtype=np.float64) for name in names])
+        _, idx = np.unique(stacked, axis=0, return_index=True)
+        return self.select_rows(np.sort(idx))
+
+    def sort_by(self, keys: Sequence[tuple[str, bool]]) -> "BindingTable":
+        """Sort rows by ``(column, descending)`` keys, first key primary."""
+        if self.num_rows == 0 or not keys:
+            return self.copy()
+        order = np.arange(self.num_rows)
+        # apply keys from least to most significant for a stable lexsort-like result
+        for name, descending in reversed(list(keys)):
+            values = self.column(name)[order]
+            if descending:
+                # negate instead of reversing so that ties keep their prior order
+                positions = np.argsort(-values.astype(np.float64), kind="stable")
+            else:
+                positions = np.argsort(values, kind="stable")
+            order = order[positions]
+        return self.select_rows(order)
+
+    def head(self, limit: int) -> "BindingTable":
+        """Return the first ``limit`` rows."""
+        return self.select_rows(np.arange(min(limit, self.num_rows)))
+
+    # -- output -------------------------------------------------------------------
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        """Iterate rows as dictionaries (materializes Python objects)."""
+        names = self.variables
+        for i in range(self.num_rows):
+            yield {name: self.columns[name][i].item() for name in names}
+
+    def to_set(self, names: Sequence[str] | None = None) -> set[tuple]:
+        """Return rows as a set of tuples (for order-insensitive comparison)."""
+        names = list(names) if names else self.variables
+        if self.num_rows == 0:
+            return set()
+        arrays = [self.column(name) for name in names]
+        return {tuple(array[i].item() for array in arrays) for i in range(self.num_rows)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BindingTable(vars={self.variables}, rows={self.num_rows})"
+
+
+def cross_join(left: BindingTable, right: BindingTable) -> BindingTable:
+    """Cartesian product of two binding tables with disjoint variables."""
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise ExecutionError(f"cross join requires disjoint variables; shared: {sorted(overlap)}")
+    n_left, n_right = left.num_rows, right.num_rows
+    left_idx = np.repeat(np.arange(n_left), n_right)
+    right_idx = np.tile(np.arange(n_right), n_left)
+    columns: Dict[str, np.ndarray] = {}
+    for name, values in left.columns.items():
+        columns[name] = values[left_idx]
+    for name, values in right.columns.items():
+        columns[name] = values[right_idx]
+    return BindingTable(columns)
+
+
+def hash_join(left: BindingTable, right: BindingTable, join_vars: Sequence[str]) -> BindingTable:
+    """Equi-join two binding tables on shared variables (hash based)."""
+    if not join_vars:
+        return cross_join(left, right)
+    for name in join_vars:
+        left.column(name)
+        right.column(name)
+    # build on the smaller side
+    build, probe = (left, right) if left.num_rows <= right.num_rows else (right, left)
+    build_keys: Dict[tuple, List[int]] = {}
+    build_arrays = [build.column(name) for name in join_vars]
+    for i in range(build.num_rows):
+        key = tuple(int(array[i]) for array in build_arrays)
+        build_keys.setdefault(key, []).append(i)
+    probe_arrays = [probe.column(name) for name in join_vars]
+    build_rows: List[int] = []
+    probe_rows: List[int] = []
+    for j in range(probe.num_rows):
+        key = tuple(int(array[j]) for array in probe_arrays)
+        matches = build_keys.get(key)
+        if matches:
+            build_rows.extend(matches)
+            probe_rows.extend([j] * len(matches))
+    build_sel = build.select_rows(np.asarray(build_rows, dtype=np.int64))
+    probe_sel = probe.select_rows(np.asarray(probe_rows, dtype=np.int64))
+    columns = dict(build_sel.columns)
+    for name, values in probe_sel.columns.items():
+        if name not in columns:
+            columns[name] = values
+    return BindingTable(columns)

@@ -1,0 +1,54 @@
+"""Execution context: everything operators need at run time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..columnar import BufferPool, CostModel, CostTracker
+from ..cs import EmergentSchema
+from ..errors import ExecutionError
+from ..model import TermDictionary
+from ..storage import ClusteredStore, ExhaustiveIndexStore
+from .values import ValueDecoder, ValueEncoder
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one query execution.
+
+    The context bundles the dictionary, the available physical stores, the
+    buffer pool whose tracker collects cost counters, and the value
+    encoder/decoder bridges.  Operators read from whichever store their plan
+    scheme targets; the executor snapshots the tracker around the run.
+    """
+
+    dictionary: TermDictionary
+    pool: BufferPool
+    index_store: Optional[ExhaustiveIndexStore] = None
+    clustered_store: Optional[ClusteredStore] = None
+    schema: Optional[EmergentSchema] = None
+    cost_model: CostModel = field(default_factory=CostModel)
+    encoder: ValueEncoder = field(init=False)
+    decoder: ValueDecoder = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.encoder = ValueEncoder(self.dictionary)
+        self.decoder = ValueDecoder(self.dictionary)
+
+    @property
+    def tracker(self) -> CostTracker:
+        return self.pool.tracker
+
+    def require_index_store(self) -> ExhaustiveIndexStore:
+        if self.index_store is None:
+            raise ExecutionError("this plan requires the exhaustive index store, which is not loaded")
+        return self.index_store
+
+    def require_clustered_store(self) -> ClusteredStore:
+        if self.clustered_store is None:
+            raise ExecutionError("this plan requires the clustered store, which is not built")
+        return self.clustered_store
+
+    def has_clustered_store(self) -> bool:
+        return self.clustered_store is not None

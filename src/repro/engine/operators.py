@@ -1,0 +1,487 @@
+"""Classical physical operators: index scans, joins, filters, projection,
+ordering, aggregation.
+
+These operators implement the *Default* plan scheme of Table I: each triple
+pattern of a SPARQL query becomes an index scan against the exhaustive
+permutation store, and patterns sharing a subject are combined with
+nested-loop index joins (one per additional property) or hash joins — the
+exact shape the paper criticizes for its lack of locality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .bindings import BindingTable, hash_join
+from .context import ExecutionContext
+from .expressions import AggregateSpec, Expression
+from .plan import OidRange, PatternTerm, PhysicalOperator, TriplePatternPlan
+
+
+class IndexScanOp(PhysicalOperator):
+    """Scan one triple pattern against the exhaustive index store.
+
+    Constant slots are pushed into the permutation prefix; an optional OID
+    range on the object (from a FILTER) and/or on the subject (from a
+    zone-map-derived restriction) is applied with binary search when the
+    chosen permutation sorts that component right after the bound prefix,
+    and as a post-filter otherwise.
+    """
+
+    def __init__(self, pattern: TriplePatternPlan,
+                 object_range: Optional[OidRange] = None,
+                 subject_range: Optional[OidRange] = None) -> None:
+        self.pattern = pattern
+        self.object_range = object_range
+        self.subject_range = subject_range
+
+    def describe(self) -> str:
+        parts = [f"IndexScan[{self.pattern.describe()}]"]
+        if self.object_range and not self.object_range.is_unbounded():
+            parts.append(f"obj{self.object_range.describe()}")
+        if self.subject_range and not self.subject_range.is_unbounded():
+            parts.append(f"subj{self.subject_range.describe()}")
+        return " ".join(parts)
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        store = context.require_index_store()
+        s, p, o = self.pattern.subject, self.pattern.predicate, self.pattern.object
+
+        # Fast paths: predicate bound plus a range on the object (POS prefix) or
+        # on the subject (PSO prefix).  When both ranges are available the scan
+        # picks whichever touches fewer rows; the other range is applied as a
+        # post-filter in _bind().
+        object_path = (not p.is_variable and o.is_variable and self.object_range is not None
+                       and not self.object_range.is_unbounded() and "pos" in store.tables)
+        subject_path = (not p.is_variable and s.is_variable and self.subject_range is not None
+                        and not self.subject_range.is_unbounded() and "pso" in store.tables)
+        if object_path and subject_path:
+            object_rows = self._range_row_count(store.table("pos"), p.oid, self.object_range, "o")
+            subject_rows = self._range_row_count(store.table("pso"), p.oid, self.subject_range, "s")
+            if subject_rows < object_rows:
+                object_path = False
+            else:
+                subject_path = False
+        if object_path:
+            rows = self._range_scan(store.table("pos"), p.oid, self.object_range, fetch="spo")
+            rows = self._filter_constant_slots(rows)
+        elif subject_path:
+            rows = self._range_scan(store.table("pso"), p.oid, self.subject_range,
+                                    fetch="spo", range_component="s")
+            rows = self._filter_constant_slots(rows)
+        else:
+            rows = store.scan_pattern(
+                s=None if s.is_variable else s.oid,
+                p=None if p.is_variable else p.oid,
+                o=None if o.is_variable else o.oid,
+                fetch="spo",
+            )
+        return self._bind(rows, context)
+
+    def _filter_constant_slots(self, rows: np.ndarray) -> np.ndarray:
+        """Re-apply constant S/O slots that a fast-path range scan did not cover."""
+        if rows.size == 0:
+            return rows
+        mask = np.ones(rows.shape[0], dtype=bool)
+        if not self.pattern.subject.is_variable:
+            mask &= rows[:, 0] == self.pattern.subject.oid
+        if not self.pattern.object.is_variable:
+            mask &= rows[:, 2] == self.pattern.object.oid
+        return rows[mask]
+
+    def _range_row_count(self, table, predicate_oid: int, oid_range: OidRange,
+                         range_component: str) -> int:
+        """Rows the range scan would touch (binary searches only, no page reads)."""
+        lo_row, hi_row = table.prefix_row_range(predicate_oid)
+        if hi_row <= lo_row:
+            return 0
+        segment = table.column(range_component).data[lo_row:hi_row]
+        start = 0 if oid_range.low is None else int(np.searchsorted(segment, oid_range.low, side="left"))
+        stop = len(segment) if oid_range.high is None else int(
+            np.searchsorted(segment, oid_range.high, side="right"))
+        return max(0, stop - start)
+
+    def _range_scan(self, table, predicate_oid: int, oid_range: OidRange,
+                    fetch: str, range_component: str = "o") -> np.ndarray:
+        lo_row, hi_row = table.prefix_row_range(predicate_oid)
+        if hi_row <= lo_row:
+            return np.empty((0, 3), dtype=np.int64)
+        component_column = table.column(range_component)
+        segment = component_column.data[lo_row:hi_row]
+        start = lo_row
+        stop = hi_row
+        if oid_range.low is not None:
+            start = lo_row + int(np.searchsorted(segment, oid_range.low, side="left"))
+        if oid_range.high is not None:
+            stop = lo_row + int(np.searchsorted(segment, oid_range.high, side="right"))
+        return table.fetch_rows(start, stop, fetch=fetch)
+
+    def _bind(self, rows: np.ndarray, context: ExecutionContext) -> BindingTable:
+        columns = {}
+        slots = {"s": 0, "p": 1, "o": 2}
+        for component, term in (("s", self.pattern.subject), ("p", self.pattern.predicate),
+                                ("o", self.pattern.object)):
+            if term.is_variable:
+                columns.setdefault(term.var, rows[:, slots[component]] if rows.size else
+                                   np.empty(0, dtype=np.int64))
+        table = BindingTable(columns)
+        table = _apply_range(table, self.pattern.object, self.object_range)
+        table = _apply_range(table, self.pattern.subject, self.subject_range)
+        return table
+
+
+class NestedLoopIndexJoinOp(PhysicalOperator):
+    """For every input binding, probe the index for one more pattern.
+
+    This is the per-property join of the Default scheme: given the subjects
+    produced so far, each additional property is fetched by probing the PSO
+    (or SPO) index once per subject — "hitting the index all over the
+    place".  The probes are vectorized but the *page accounting* reflects
+    the scattered positions touched, which is what makes this operator slow
+    in the cold, parse-order configuration.
+    """
+
+    def __init__(self, child: PhysicalOperator, pattern: TriplePatternPlan,
+                 object_range: Optional[OidRange] = None) -> None:
+        if not pattern.subject.is_variable:
+            raise ExecutionError("NestedLoopIndexJoin expects a variable subject")
+        if pattern.predicate.is_variable:
+            raise ExecutionError("NestedLoopIndexJoin expects a constant predicate")
+        self.child = child
+        self.pattern = pattern
+        self.object_range = object_range
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"NestedLoopIndexJoin[{self.pattern.describe()}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        context.tracker.join_operations += 1
+        input_table = self.child.execute(context)
+        subject_var = self.pattern.subject.var
+        if not input_table.has(subject_var):
+            raise ExecutionError(f"join variable ?{subject_var} not produced by child operator")
+        store = context.require_index_store()
+        table = store.table("pso") if "pso" in store.tables else store.table(store.best_order("sp"))
+
+        subjects = input_table.column(subject_var)
+        if subjects.size == 0:
+            out_vars = list(input_table.variables)
+            if self.pattern.object.is_variable and self.pattern.object.var not in out_vars:
+                out_vars.append(self.pattern.object.var)
+            return BindingTable.empty(out_vars)
+
+        lo_row, hi_row = table.prefix_row_range(self.pattern.predicate.oid)
+        s_column = table.column("s")
+        o_column = table.column("o")
+        segment_subjects = s_column.data[lo_row:hi_row]
+
+        # one probe per input row (vectorized, but accounted per probe)
+        left_positions = np.searchsorted(segment_subjects, subjects, side="left")
+        right_positions = np.searchsorted(segment_subjects, subjects, side="right")
+        context.tracker.tuples_probed += int(subjects.size) * 2
+
+        input_rows: List[int] = []
+        matched_positions: List[int] = []
+        for row_idx, (lo, hi) in enumerate(zip(left_positions, right_positions)):
+            for position in range(int(lo), int(hi)):
+                input_rows.append(row_idx)
+                matched_positions.append(lo_row + position)
+        matched = np.asarray(matched_positions, dtype=np.int64)
+        input_rows_arr = np.asarray(input_rows, dtype=np.int64)
+
+        # page accounting: the probes hit the s and o columns at scattered positions
+        objects = o_column.gather(matched) if matched.size else np.empty(0, dtype=np.int64)
+        if matched.size:
+            s_column.gather(matched)
+
+        result = input_table.select_rows(input_rows_arr)
+        obj_term = self.pattern.object
+        if obj_term.is_variable:
+            if result.has(obj_term.var):
+                mask = result.column(obj_term.var) == objects
+                result = result.filter_mask(mask)
+            else:
+                result = result.with_column(obj_term.var, objects)
+                result = _apply_range(result, obj_term, self.object_range)
+        else:
+            mask = objects == obj_term.oid
+            result = result.filter_mask(mask)
+        return result
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash join of two sub-plans on their shared variables."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 join_vars: Optional[Sequence[str]] = None) -> None:
+        self.left = left
+        self.right = right
+        self.join_vars = list(join_vars) if join_vars is not None else None
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        on = ", ".join(self.join_vars) if self.join_vars else "<auto>"
+        return f"HashJoin[on {on}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        context.tracker.join_operations += 1
+        left = self.left.execute(context)
+        right = self.right.execute(context)
+        join_vars = self.join_vars
+        if join_vars is None:
+            join_vars = sorted(set(left.variables) & set(right.variables))
+        context.tracker.tuples_probed += left.num_rows + right.num_rows
+        return hash_join(left, right, join_vars)
+
+
+class FilterRangeOp(PhysicalOperator):
+    """Keep rows whose OID column falls inside an inclusive OID range."""
+
+    def __init__(self, child: PhysicalOperator, var: str, oid_range: OidRange) -> None:
+        self.child = child
+        self.var = var
+        self.oid_range = oid_range
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FilterRange[?{self.var} in {self.oid_range.describe()}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        table = self.child.execute(context)
+        values = table.column(self.var)
+        mask = np.ones(len(values), dtype=bool)
+        if self.oid_range.low is not None:
+            mask &= values >= self.oid_range.low
+        if self.oid_range.high is not None:
+            mask &= values <= self.oid_range.high
+        context.tracker.tuples_scanned += int(len(values))
+        return table.filter_mask(mask)
+
+
+class FilterEqualOp(PhysicalOperator):
+    """Keep rows where an OID column equals a constant OID."""
+
+    def __init__(self, child: PhysicalOperator, var: str, oid: int) -> None:
+        self.child = child
+        self.var = var
+        self.oid = int(oid)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FilterEqual[?{self.var} == #{self.oid}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        table = self.child.execute(context)
+        values = table.column(self.var)
+        context.tracker.tuples_scanned += int(len(values))
+        return table.filter_mask(values == self.oid)
+
+
+class FilterNotEqualOp(PhysicalOperator):
+    """Keep rows where an OID column differs from a constant OID."""
+
+    def __init__(self, child: PhysicalOperator, var: str, oid: int) -> None:
+        self.child = child
+        self.var = var
+        self.oid = int(oid)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"FilterNotEqual[?{self.var} != #{self.oid}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        table = self.child.execute(context)
+        values = table.column(self.var)
+        context.tracker.tuples_scanned += int(len(values))
+        return table.filter_mask(values != self.oid)
+
+
+class ProjectOp(PhysicalOperator):
+    """Keep only the named columns."""
+
+    def __init__(self, child: PhysicalOperator, variables: Sequence[str]) -> None:
+        self.child = child
+        self.variables = list(variables)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project[{', '.join('?' + v for v in self.variables)}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        return self.child.execute(context).project(self.variables)
+
+
+class DistinctOp(PhysicalOperator):
+    """Remove duplicate rows."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self.child = child
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        return self.child.execute(context).distinct()
+
+
+class OrderByOp(PhysicalOperator):
+    """Sort rows by one or more ``(column, descending)`` keys."""
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[tuple[str, bool]]) -> None:
+        self.child = child
+        self.keys = list(keys)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"?{name}{' desc' if desc else ''}" for name, desc in self.keys)
+        return f"OrderBy[{rendered}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        return self.child.execute(context).sort_by(self.keys)
+
+
+class LimitOp(PhysicalOperator):
+    """Keep at most N rows."""
+
+    def __init__(self, child: PhysicalOperator, limit: int) -> None:
+        self.child = child
+        self.limit = int(limit)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Limit[{self.limit}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        return self.child.execute(context).head(self.limit)
+
+
+class ExtendOp(PhysicalOperator):
+    """Add a computed numeric column from an expression."""
+
+    def __init__(self, child: PhysicalOperator, alias: str, expression: Expression) -> None:
+        self.child = child
+        self.alias = alias
+        self.expression = expression
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Extend[?{self.alias} = {self.expression.describe()}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        table = self.child.execute(context)
+        values = self.expression.evaluate(table, context.decoder)
+        return table.with_column(self.alias, values)
+
+
+class AggregateOp(PhysicalOperator):
+    """Group-by aggregation with numeric aggregate expressions."""
+
+    def __init__(self, child: PhysicalOperator, group_vars: Sequence[str],
+                 aggregates: Sequence[AggregateSpec]) -> None:
+        self.child = child
+        self.group_vars = list(group_vars)
+        self.aggregates = list(aggregates)
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        groups = ", ".join("?" + v for v in self.group_vars) or "<all>"
+        aggs = ", ".join(spec.describe() for spec in self.aggregates)
+        return f"Aggregate[by {groups}: {aggs}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        table = self.child.execute(context)
+        evaluated = {spec.alias: spec.expression.evaluate(table, context.decoder)
+                     for spec in self.aggregates}
+
+        if not self.group_vars:
+            columns = {alias: np.asarray([spec.compute(evaluated[alias])], dtype=np.float64)
+                       for alias, spec in zip(evaluated, self.aggregates)}
+            return BindingTable(columns)
+
+        group_arrays = [table.column(name) for name in self.group_vars]
+        groups: dict[tuple, List[int]] = {}
+        for row in range(table.num_rows):
+            key = tuple(int(array[row]) for array in group_arrays)
+            groups.setdefault(key, []).append(row)
+
+        keys = list(groups)
+        out_columns: dict[str, np.ndarray] = {}
+        for idx, name in enumerate(self.group_vars):
+            out_columns[name] = np.asarray([key[idx] for key in keys], dtype=np.int64)
+        for spec in self.aggregates:
+            values = evaluated[spec.alias]
+            out_columns[spec.alias] = np.asarray(
+                [spec.compute(values[np.asarray(rows, dtype=np.int64)]) for rows in groups.values()],
+                dtype=np.float64,
+            )
+        context.tracker.tuples_scanned += table.num_rows
+        return BindingTable(out_columns)
+
+
+class MaterializedOp(PhysicalOperator):
+    """Wrap a pre-computed binding table as an operator (used in tests and
+    by RDFjoin to feed candidate subjects)."""
+
+    def __init__(self, table: BindingTable, label: str = "materialized") -> None:
+        self.table = table
+        self.label = label
+
+    def describe(self) -> str:
+        return f"Materialized[{self.label}: {self.table.num_rows} rows]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        return self.table
+
+
+# -- helpers --------------------------------------------------------------------------
+
+
+def _apply_range(table: BindingTable, term: PatternTerm, oid_range: Optional[OidRange]) -> BindingTable:
+    if oid_range is None or oid_range.is_unbounded() or not term.is_variable:
+        return table
+    if not table.has(term.var):
+        return table
+    values = table.column(term.var)
+    mask = np.ones(len(values), dtype=bool)
+    if oid_range.low is not None:
+        mask &= values >= oid_range.low
+    if oid_range.high is not None:
+        mask &= values <= oid_range.high
+    return table.filter_mask(mask)

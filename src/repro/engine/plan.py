@@ -1,0 +1,182 @@
+"""Physical plan building blocks: pattern terms, triple patterns, star
+patterns and the operator base class.
+
+A *star pattern* is the unit the paper's new operators work on: a set of
+triple patterns sharing one subject variable.  The Default plan scheme turns
+each property of the star into its own index scan plus join; the
+RDFscan/RDFjoin scheme evaluates the whole star in one operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import PlanError
+from .bindings import BindingTable
+
+
+@dataclass(frozen=True)
+class PatternTerm:
+    """One slot of a triple pattern: either a variable or a constant OID."""
+
+    var: Optional[str] = None
+    oid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.var is None) == (self.oid is None):
+            raise PlanError("a pattern term is either a variable or a constant OID")
+
+    @classmethod
+    def variable(cls, name: str) -> "PatternTerm":
+        return cls(var=name)
+
+    @classmethod
+    def constant(cls, oid: int) -> "PatternTerm":
+        return cls(oid=int(oid))
+
+    @property
+    def is_variable(self) -> bool:
+        return self.var is not None
+
+    def describe(self) -> str:
+        return f"?{self.var}" if self.is_variable else f"#{self.oid}"
+
+
+@dataclass(frozen=True)
+class OidRange:
+    """An inclusive OID interval used for pushed-down range predicates."""
+
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+    def is_unbounded(self) -> bool:
+        return self.low is None and self.high is None
+
+    def intersect(self, other: "OidRange") -> "OidRange":
+        low = self.low if other.low is None else (other.low if self.low is None else max(self.low, other.low))
+        high = self.high if other.high is None else (other.high if self.high is None else min(self.high, other.high))
+        return OidRange(low, high)
+
+    def contains(self, value: int) -> bool:
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def describe(self) -> str:
+        return f"[{self.low if self.low is not None else '-inf'}, {self.high if self.high is not None else '+inf'}]"
+
+
+@dataclass(frozen=True)
+class TriplePatternPlan:
+    """A physical triple pattern: (subject, predicate, object) slots."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> List[str]:
+        return [t.var for t in (self.subject, self.predicate, self.object) if t.var is not None]
+
+    def describe(self) -> str:
+        return f"{self.subject.describe()} {self.predicate.describe()} {self.object.describe()}"
+
+
+@dataclass
+class StarProperty:
+    """One property of a star pattern.
+
+    ``object_term`` binds the object slot (variable or constant); an
+    additional OID range can be attached (from a FILTER or a zone-map
+    push-down).  ``required`` distinguishes mandatory properties from
+    OPTIONAL-like ones (not used by the paper's queries but kept for
+    completeness).
+    """
+
+    predicate_oid: int
+    object_term: PatternTerm
+    oid_range: Optional[OidRange] = None
+    required: bool = True
+
+    def describe(self) -> str:
+        parts = [f"p{self.predicate_oid} -> {self.object_term.describe()}"]
+        if self.oid_range is not None and not self.oid_range.is_unbounded():
+            parts.append(self.oid_range.describe())
+        return " ".join(parts)
+
+
+@dataclass
+class StarPattern:
+    """A set of properties sharing one subject variable."""
+
+    subject_var: str
+    properties: List[StarProperty] = field(default_factory=list)
+    subject_range: Optional[OidRange] = None
+
+    def predicate_oids(self) -> List[int]:
+        return [prop.predicate_oid for prop in self.properties]
+
+    def output_variables(self) -> List[str]:
+        names = [self.subject_var]
+        for prop in self.properties:
+            if prop.object_term.is_variable and prop.object_term.var not in names:
+                names.append(prop.object_term.var)
+        return names
+
+    def property_for(self, predicate_oid: int) -> Optional[StarProperty]:
+        for prop in self.properties:
+            if prop.predicate_oid == predicate_oid:
+                return prop
+        return None
+
+    def describe(self) -> str:
+        inner = "; ".join(prop.describe() for prop in self.properties)
+        suffix = f" subj{self.subject_range.describe()}" if self.subject_range else ""
+        return f"star(?{self.subject_var}: {inner}){suffix}"
+
+
+class PhysicalOperator:
+    """Base class of every physical operator."""
+
+    def execute(self, context) -> BindingTable:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PhysicalOperator"]:
+        return ()
+
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> str:
+        return self.name()
+
+    # -- plan inspection ---------------------------------------------------------
+
+    def explain(self, indent: int = 0) -> str:
+        """Indented plan tree, one operator per line."""
+        lines = [("  " * indent) + self.describe()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def count_operators(self) -> int:
+        """Total number of operators in the subtree (for Fig. 4 style stats)."""
+        return 1 + sum(child.count_operators() for child in self.children())
+
+    def count_joins(self) -> int:
+        """Number of join operators in the subtree."""
+        from .operators import HashJoinOp, NestedLoopIndexJoinOp  # local to avoid cycle
+        from .rdfscan import RDFJoinOp
+
+        own = 1 if isinstance(self, (HashJoinOp, NestedLoopIndexJoinOp, RDFJoinOp)) else 0
+        return own + sum(child.count_joins() for child in self.children())
+
+    def operator_names(self) -> Dict[str, int]:
+        """Histogram of operator class names in the subtree."""
+        histogram: Dict[str, int] = {self.name(): 1}
+        for child in self.children():
+            for name, count in child.operator_names().items():
+                histogram[name] = histogram.get(name, 0) + count
+        return histogram

@@ -1,0 +1,568 @@
+"""RDFscan and RDFjoin: the paper's star-pattern operators.
+
+``RDFscan`` delivers the bindings of a whole star pattern (several
+properties of one subject variable) in a single operator invocation.  Over
+the CS-clustered store this is join-free: the properties of a characteristic
+set are stored as aligned columns, so evaluating the star is a conjunction
+of per-column predicates followed by a gather of the output columns.  Over
+parse-order storage the operator falls back to a single merge pass across
+the per-property PSO ranges — still one operator, but without the aligned
+locality.
+
+``RDFjoin`` is the variant that receives a stream of candidate subjects from
+another operator (the paper relates it to the "Pivot Index Scan"): it
+fetches the star's properties only for those subjects.
+
+Both operators understand zone maps: when a property carries a range
+constraint and its column has a zone map, only the zones whose ``[min,max]``
+interval intersects the constraint are read.  The helpers at the bottom
+implement the cross-table push-down used for RDF-H Q3 (restrict one CS's
+subject range from a date predicate, push the restriction through the
+foreign key into the other CS via its zone map).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..columnar import NULL_OID
+from ..errors import ExecutionError
+from ..storage.clustered import CSBlock, ClusteredStore
+from ..storage.triple_table import TripleTable
+from .bindings import BindingTable, hash_join
+from .context import ExecutionContext
+from .plan import OidRange, PhysicalOperator, StarPattern, StarProperty
+
+
+class RDFScanOp(PhysicalOperator):
+    """Evaluate a full star pattern in one operator."""
+
+    def __init__(self, star: StarPattern, use_zone_maps: bool = False,
+                 force_index_path: bool = False) -> None:
+        self.star = star
+        self.use_zone_maps = use_zone_maps
+        self.force_index_path = force_index_path
+
+    def describe(self) -> str:
+        flags = []
+        if self.use_zone_maps:
+            flags.append("zonemaps")
+        if self.force_index_path:
+            flags.append("index-path")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        return f"RDFscan[{self.star.describe()}]{suffix}"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        if context.has_clustered_store() and not self.force_index_path:
+            return _scan_clustered(context, self.star, self.use_zone_maps)
+        return _scan_index_merge(context, self.star, candidate_subjects=None)
+
+
+class RDFJoinOp(PhysicalOperator):
+    """Evaluate a star pattern for candidate subjects supplied by a child."""
+
+    def __init__(self, child: PhysicalOperator, star: StarPattern,
+                 use_zone_maps: bool = False, force_index_path: bool = False) -> None:
+        self.child = child
+        self.star = star
+        self.use_zone_maps = use_zone_maps
+        self.force_index_path = force_index_path
+
+    def children(self) -> Sequence[PhysicalOperator]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"RDFjoin[{self.star.describe()}]"
+
+    def execute(self, context: ExecutionContext) -> BindingTable:
+        context.tracker.operator_invocations += 1
+        context.tracker.join_operations += 1
+        input_table = self.child.execute(context)
+        subject_var = self.star.subject_var
+        if not input_table.has(subject_var):
+            raise ExecutionError(f"RDFjoin expects ?{subject_var} from its child operator")
+        candidates = np.unique(input_table.column(subject_var))
+        if context.has_clustered_store() and not self.force_index_path:
+            star_table = _scan_clustered(context, self.star, self.use_zone_maps,
+                                         candidate_subjects=candidates)
+        else:
+            star_table = _scan_index_merge(context, self.star, candidate_subjects=candidates)
+        context.tracker.tuples_probed += int(candidates.size)
+        join_vars = sorted(set(input_table.variables) & set(star_table.variables))
+        return hash_join(input_table, star_table, join_vars or [subject_var])
+
+
+# -- clustered-store evaluation -----------------------------------------------------
+
+
+def _scan_clustered(context: ExecutionContext, star: StarPattern, use_zone_maps: bool,
+                    candidate_subjects: Optional[np.ndarray] = None) -> BindingTable:
+    store = context.require_clustered_store()
+    predicates = star.predicate_oids()
+    blocks = store.blocks_with_properties(predicates)
+
+    results: List[BindingTable] = []
+    residual_subjects = _irregular_star_subjects(store.irregular, predicates)
+
+    for block in blocks:
+        table = _scan_block(context, block, star, use_zone_maps, candidate_subjects,
+                            exclude_subjects=residual_subjects)
+        if table.num_rows:
+            results.append(table)
+
+    # Residual path: subjects touched by irregular triples (spilled multi-values,
+    # dirty data) are answered from the union of block + irregular data so that
+    # clustering never changes query answers.
+    if residual_subjects.size:
+        residual = _star_over_union(store, star, residual_subjects, candidate_subjects)
+        if residual.num_rows:
+            results.append(residual)
+
+    # Subjects that live only in the irregular store (no CS membership at all).
+    irregular_only = _star_over_irregular_only(store, star, residual_subjects, candidate_subjects)
+    if irregular_only is not None and irregular_only.num_rows:
+        results.append(irregular_only)
+
+    output_vars = star.output_variables()
+    if not results:
+        return BindingTable.empty(output_vars)
+    merged = results[0]
+    for table in results[1:]:
+        merged = merged.concat(table)
+    return merged.project(output_vars)
+
+
+def _scan_block(context: ExecutionContext, block: CSBlock, star: StarPattern,
+                use_zone_maps: bool, candidate_subjects: Optional[np.ndarray],
+                exclude_subjects: np.ndarray) -> BindingTable:
+    n = len(block)
+    if n == 0:
+        return BindingTable.empty(star.output_variables())
+
+    row_ranges: List[Tuple[int, int]] = [(0, n)]
+
+    # subject-range restriction (zone-map push-down or FILTER on the subject)
+    if star.subject_range is not None and not star.subject_range.is_unbounded():
+        row_ranges = _intersect_ranges(row_ranges, [_subject_rows_for_range(block, star.subject_range)])
+
+    # candidate subjects (RDFjoin): narrow to the smallest covering row range
+    candidate_positions: Optional[np.ndarray] = None
+    if candidate_subjects is not None:
+        candidate_positions = block.positions_of_subjects(candidate_subjects)
+        if candidate_positions.size == 0:
+            return BindingTable.empty(star.output_variables())
+        lo, hi = int(candidate_positions.min()), int(candidate_positions.max()) + 1
+        row_ranges = _intersect_ranges(row_ranges, [(lo, hi)])
+
+    # the clustering sub-order: a range predicate on a sorted column is a
+    # binary search over the block, independent of zone maps
+    for prop in star.properties:
+        if prop.oid_range is None or prop.oid_range.is_unbounded():
+            continue
+        if prop.predicate_oid not in block.sorted_properties:
+            continue
+        column_data = block.column(prop.predicate_oid).data
+        # the non-NULL values form the sorted prefix; trailing NULLs are excluded
+        prefix_length = int(np.count_nonzero(column_data != NULL_OID))
+        sorted_prefix = column_data[:prefix_length]
+        lo = 0 if prop.oid_range.low is None else int(
+            np.searchsorted(sorted_prefix, prop.oid_range.low, side="left"))
+        hi = prefix_length if prop.oid_range.high is None else int(
+            np.searchsorted(sorted_prefix, prop.oid_range.high, side="right"))
+        row_ranges = _intersect_ranges(row_ranges, [(lo, max(lo, hi))])
+        if not row_ranges:
+            return BindingTable.empty(star.output_variables())
+
+    # zone-map pruning on constrained properties
+    if use_zone_maps:
+        for prop in star.properties:
+            if prop.oid_range is None or prop.oid_range.is_unbounded():
+                continue
+            zone_map = block.zone_map(prop.predicate_oid)
+            if zone_map is None:
+                continue
+            candidate = zone_map.candidate_row_ranges(prop.oid_range.low, prop.oid_range.high)
+            row_ranges = _intersect_ranges(row_ranges, candidate)
+            if not row_ranges:
+                return BindingTable.empty(star.output_variables())
+
+    # evaluate constraints range-by-range, reading only constrained columns first
+    surviving_positions: List[np.ndarray] = []
+    constrained = [p for p in star.properties
+                   if not p.object_term.is_variable
+                   or (p.oid_range is not None and not p.oid_range.is_unbounded())
+                   or p.required]
+    for start, stop in row_ranges:
+        if stop <= start:
+            continue
+        mask = np.ones(stop - start, dtype=bool)
+        for prop in constrained:
+            column = block.column(prop.predicate_oid)
+            values = column.slice(start, stop)
+            if prop.required:
+                mask &= values != NULL_OID
+            if not prop.object_term.is_variable:
+                mask &= values == prop.object_term.oid
+            if prop.oid_range is not None and not prop.oid_range.is_unbounded():
+                if prop.oid_range.low is not None:
+                    mask &= values >= prop.oid_range.low
+                if prop.oid_range.high is not None:
+                    mask &= values <= prop.oid_range.high
+        positions = np.nonzero(mask)[0] + start
+        if positions.size:
+            surviving_positions.append(positions)
+
+    if not surviving_positions:
+        return BindingTable.empty(star.output_variables())
+    positions = np.concatenate(surviving_positions)
+
+    if candidate_positions is not None:
+        positions = np.intersect1d(positions, candidate_positions, assume_unique=False)
+        if positions.size == 0:
+            return BindingTable.empty(star.output_variables())
+
+    subjects = block.subject_column.gather(positions)
+
+    # residual subjects are answered elsewhere; drop them here to avoid duplicates
+    if exclude_subjects.size:
+        keep = ~np.isin(subjects, exclude_subjects)
+        positions = positions[keep]
+        subjects = subjects[keep]
+        if positions.size == 0:
+            return BindingTable.empty(star.output_variables())
+
+    columns: Dict[str, np.ndarray] = {star.subject_var: subjects}
+    for prop in star.properties:
+        term = prop.object_term
+        if not term.is_variable or term.var in columns:
+            continue
+        column = block.column(prop.predicate_oid)
+        values = column.gather(positions)
+        if prop.required:
+            # required but unconstrained variables must still be non-NULL
+            keep = values != NULL_OID
+            if not keep.all():
+                positions = positions[keep]
+                for name in columns:
+                    columns[name] = columns[name][keep]
+                values = values[keep]
+        columns[term.var] = values
+    return BindingTable(columns)
+
+
+def _subject_rows_for_range(block: CSBlock, subject_range: OidRange) -> Tuple[int, int]:
+    subjects = block.subject_column.data
+    lo = 0 if subject_range.low is None else int(np.searchsorted(subjects, subject_range.low, side="left"))
+    hi = len(subjects) if subject_range.high is None else int(
+        np.searchsorted(subjects, subject_range.high, side="right"))
+    return lo, max(lo, hi)
+
+
+def _intersect_ranges(left: List[Tuple[int, int]],
+                      right: List[Tuple[int, int]] | Tuple[int, int]) -> List[Tuple[int, int]]:
+    if isinstance(right, tuple):
+        right = [right]
+    out: List[Tuple[int, int]] = []
+    for a_start, a_stop in left:
+        for b_start, b_stop in right:
+            start, stop = max(a_start, b_start), min(a_stop, b_stop)
+            if stop > start:
+                out.append((start, stop))
+    out.sort()
+    return out
+
+
+# -- residual / irregular evaluation ---------------------------------------------------
+
+
+def _irregular_star_subjects(irregular: TripleTable, predicates: List[int]) -> np.ndarray:
+    """Subjects having at least one irregular triple with a star predicate."""
+    if len(irregular) == 0:
+        return np.empty(0, dtype=np.int64)
+    parts = []
+    for predicate in predicates:
+        rows = irregular.scan_prefix(predicate, fetch="s")
+        if rows.size:
+            parts.append(rows[:, 0])
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate(parts))
+
+
+def _star_over_union(store: ClusteredStore, star: StarPattern, subjects: np.ndarray,
+                     candidate_subjects: Optional[np.ndarray]) -> BindingTable:
+    """Answer the star for specific subjects from block + irregular data combined."""
+    if candidate_subjects is not None:
+        subjects = np.intersect1d(subjects, candidate_subjects)
+    rows: Dict[str, List[int]] = {name: [] for name in star.output_variables()}
+    for subject in subjects:
+        subject = int(subject)
+        if star.subject_range is not None and not star.subject_range.contains(subject):
+            continue
+        block = store.block_of_subject(subject)
+        per_property: List[List[int]] = []
+        satisfiable = True
+        for prop in star.properties:
+            values = _property_values_for_subject(store, block, subject, prop.predicate_oid)
+            values = [v for v in values if _value_matches(v, prop)]
+            if not values:
+                if prop.required:
+                    satisfiable = False
+                    break
+                values = [NULL_OID]
+            per_property.append(values)
+        if not satisfiable:
+            continue
+        _expand_product(rows, star, subject, per_property)
+    return BindingTable({name: np.asarray(values, dtype=np.int64) for name, values in rows.items()})
+
+
+def _star_over_irregular_only(store: ClusteredStore, star: StarPattern,
+                              residual_subjects: np.ndarray,
+                              candidate_subjects: Optional[np.ndarray]) -> Optional[BindingTable]:
+    """Answer the star for subjects that belong to no CS at all."""
+    predicates = star.predicate_oids()
+    subjects = _irregular_star_subjects(store.irregular, predicates)
+    if subjects.size == 0:
+        return None
+    no_cs = np.asarray([s for s in subjects if store.schema.cs_of_subject(int(s)) is None],
+                       dtype=np.int64)
+    no_cs = np.setdiff1d(no_cs, residual_subjects)
+    if no_cs.size == 0:
+        return None
+    return _star_over_union(store, star, no_cs, candidate_subjects)
+
+
+def _property_values_for_subject(store: ClusteredStore, block: Optional[CSBlock],
+                                 subject: int, predicate: int) -> List[int]:
+    values: List[int] = []
+    if block is not None and block.has_property(predicate):
+        positions = block.positions_of_subjects(np.asarray([subject], dtype=np.int64))
+        if positions.size:
+            value = int(block.column(predicate).gather(positions)[0])
+            if value != NULL_OID:
+                values.append(value)
+    rows = store.irregular.scan_prefix(predicate, subject, fetch="o")
+    if rows.size:
+        values.extend(int(v) for v in rows[:, 0])
+    return values
+
+
+def _value_matches(value: int, prop: StarProperty) -> bool:
+    if not prop.object_term.is_variable and value != prop.object_term.oid:
+        return False
+    if prop.oid_range is not None and not prop.oid_range.is_unbounded():
+        if not prop.oid_range.contains(value):
+            return False
+    return True
+
+
+def _expand_product(rows: Dict[str, List[int]], star: StarPattern, subject: int,
+                    per_property: List[List[int]]) -> None:
+    """Append the cartesian product of per-property values for one subject."""
+    combos: List[Dict[str, int]] = [{star.subject_var: subject}]
+    for prop, values in zip(star.properties, per_property):
+        term = prop.object_term
+        new_combos: List[Dict[str, int]] = []
+        for combo in combos:
+            for value in values:
+                if term.is_variable:
+                    if term.var in combo and combo[term.var] != value:
+                        continue
+                    extended = dict(combo)
+                    extended[term.var] = value
+                    new_combos.append(extended)
+                else:
+                    new_combos.append(dict(combo))
+        combos = new_combos
+    for combo in combos:
+        for name in rows:
+            rows[name].append(combo.get(name, NULL_OID))
+
+
+# -- parse-order (index merge) evaluation ----------------------------------------------
+
+
+def _scan_index_merge(context: ExecutionContext, star: StarPattern,
+                      candidate_subjects: Optional[np.ndarray]) -> BindingTable:
+    """Evaluate a star over the PSO/POS projections with one merge pass.
+
+    Each property contributes a (subject, object) list sorted by subject;
+    the lists are intersected pairwise.  This is RDFscan without clustered
+    storage: a single operator, no repeated index probes, but it reads every
+    property's full predicate range (minus pushed-down object ranges).
+    """
+    store = context.require_index_store()
+    output_vars = star.output_variables()
+
+    property_data: List[Tuple[StarProperty, np.ndarray, np.ndarray]] = []
+    for prop in star.properties:
+        subjects, objects = _property_pairs(context, store, prop, star.subject_range)
+        if prop.required and subjects.size == 0:
+            return BindingTable.empty(output_vars)
+        property_data.append((prop, subjects, objects))
+
+    # start from the most selective required property
+    property_data.sort(key=lambda item: item[1].size if item[0].required else np.iinfo(np.int64).max)
+
+    first_prop, first_subjects, first_objects = property_data[0]
+    table = BindingTable({star.subject_var: first_subjects})
+    if first_prop.object_term.is_variable:
+        table = table.with_column(first_prop.object_term.var, first_objects)
+
+    if candidate_subjects is not None:
+        mask = np.isin(table.column(star.subject_var), candidate_subjects)
+        table = table.filter_mask(mask)
+
+    for prop, subjects, objects in property_data[1:]:
+        table = _merge_property(context, table, star.subject_var, prop, subjects, objects)
+        if table.num_rows == 0 and prop.required:
+            return BindingTable.empty(output_vars)
+
+    for name in output_vars:
+        if not table.has(name):
+            table = table.with_column(name, np.full(table.num_rows, NULL_OID, dtype=np.int64))
+    return table.project(output_vars)
+
+
+def _property_pairs(context: ExecutionContext, store, prop: StarProperty,
+                    subject_range: Optional[OidRange]) -> Tuple[np.ndarray, np.ndarray]:
+    """Fetch the (subject, object) pairs of one property, sorted by subject."""
+    if not prop.object_term.is_variable:
+        rows = store.scan_pattern(p=prop.predicate_oid, o=prop.object_term.oid, fetch="so")
+    elif prop.oid_range is not None and not prop.oid_range.is_unbounded() and "pos" in store.tables:
+        table = store.table("pos")
+        lo_row, hi_row = table.prefix_row_range(prop.predicate_oid)
+        segment = table.column("o").data[lo_row:hi_row]
+        start, stop = lo_row, hi_row
+        if prop.oid_range.low is not None:
+            start = lo_row + int(np.searchsorted(segment, prop.oid_range.low, side="left"))
+        if prop.oid_range.high is not None:
+            stop = lo_row + int(np.searchsorted(segment, prop.oid_range.high, side="right"))
+        rows = table.fetch_rows(start, stop, fetch="so")
+    else:
+        rows = store.scan_pattern(p=prop.predicate_oid, fetch="so")
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    subjects, objects = rows[:, 0], rows[:, 1]
+    if prop.oid_range is not None and not prop.oid_range.is_unbounded():
+        mask = np.ones(len(objects), dtype=bool)
+        if prop.oid_range.low is not None:
+            mask &= objects >= prop.oid_range.low
+        if prop.oid_range.high is not None:
+            mask &= objects <= prop.oid_range.high
+        subjects, objects = subjects[mask], objects[mask]
+    if subject_range is not None and not subject_range.is_unbounded():
+        mask = np.ones(len(subjects), dtype=bool)
+        if subject_range.low is not None:
+            mask &= subjects >= subject_range.low
+        if subject_range.high is not None:
+            mask &= subjects <= subject_range.high
+        subjects, objects = subjects[mask], objects[mask]
+    order = np.argsort(subjects, kind="stable")
+    return subjects[order], objects[order]
+
+
+def _merge_property(context: ExecutionContext, table: BindingTable, subject_var: str,
+                    prop: StarProperty, subjects: np.ndarray, objects: np.ndarray) -> BindingTable:
+    """Join the current bindings with one property's (subject, object) pairs."""
+    current = table.column(subject_var)
+    lo = np.searchsorted(subjects, current, side="left")
+    hi = np.searchsorted(subjects, current, side="right")
+    counts = hi - lo
+    context.tracker.tuples_probed += int(current.size)
+
+    if not prop.required:
+        counts = np.maximum(counts, 1)
+
+    row_indices = np.repeat(np.arange(table.num_rows), counts)
+    positions_parts: List[np.ndarray] = []
+    for l, h, count in zip(lo, hi, hi - lo):
+        if count > 0:
+            positions_parts.append(np.arange(l, h, dtype=np.int64))
+        elif not prop.required:
+            positions_parts.append(np.asarray([-1], dtype=np.int64))
+    positions = np.concatenate(positions_parts) if positions_parts else np.empty(0, dtype=np.int64)
+
+    result = table.select_rows(row_indices)
+    if prop.object_term.is_variable:
+        values = np.where(positions >= 0, objects[np.maximum(positions, 0)], NULL_OID)
+        var = prop.object_term.var
+        if result.has(var):
+            mask = result.column(var) == values
+            result = result.filter_mask(mask)
+        else:
+            result = result.with_column(var, values)
+    return result
+
+
+# -- zone-map push-down helpers ----------------------------------------------------------
+
+
+def subject_range_for_property_range(block: CSBlock, predicate_oid: int,
+                                     oid_range: OidRange) -> Optional[OidRange]:
+    """Subject-OID bounds of the block rows whose property value is in range.
+
+    Only meaningful when the block is sub-ordered on the property (which the
+    clustering step arranges for the chosen sort key): the property column is
+    then non-decreasing over its non-NULL prefix and the matching rows are
+    contiguous, so the corresponding subject OIDs form one interval.
+    Returns ``None`` when the column is not sorted that way.
+    """
+    if not block.has_property(predicate_oid):
+        return None
+    values = block.column(predicate_oid).data
+    valid = values != NULL_OID
+    prefix = values[valid]
+    if prefix.size == 0:
+        return None
+    if not bool(np.all(prefix[:-1] <= prefix[1:])):
+        return None
+    valid_positions = np.nonzero(valid)[0]
+    lo_idx = 0 if oid_range.low is None else int(np.searchsorted(prefix, oid_range.low, side="left"))
+    hi_idx = prefix.size if oid_range.high is None else int(
+        np.searchsorted(prefix, oid_range.high, side="right"))
+    if hi_idx <= lo_idx:
+        return OidRange(low=1, high=0)  # empty range: no subject can match
+    subjects = block.subject_column.data
+    low_subject = int(subjects[valid_positions[lo_idx]])
+    high_subject = int(subjects[valid_positions[hi_idx - 1]])
+    return OidRange(low=low_subject, high=high_subject)
+
+
+def fk_range_from_zonemap(block: CSBlock, constrained_predicate: int, oid_range: OidRange,
+                          fk_predicate: int) -> Optional[OidRange]:
+    """Bounds of a foreign-key column over the rows surviving a zone-map prune.
+
+    Given a range constraint on one property (e.g. LINEITEM ``shipdate``),
+    use its zone map to find the candidate row ranges and return the min/max
+    of the foreign-key column (e.g. the referenced ORDERS subject OIDs) over
+    those rows — the restriction that can be pushed into the other CS.
+    """
+    zone_map = block.zone_map(constrained_predicate)
+    if zone_map is None or not block.has_property(fk_predicate):
+        return None
+    fk_zone_map = block.zone_map(fk_predicate)
+    ranges = zone_map.candidate_row_ranges(oid_range.low, oid_range.high)
+    if not ranges:
+        return OidRange(low=1, high=0)
+    low: Optional[int] = None
+    high: Optional[int] = None
+    fk_values = block.column(fk_predicate).data
+    for start, stop in ranges:
+        if fk_zone_map is not None:
+            bounds = fk_zone_map.value_bounds_for_rows(start, stop)
+        else:
+            chunk = fk_values[start:stop]
+            chunk = chunk[chunk != NULL_OID]
+            bounds = (int(chunk.min()), int(chunk.max())) if chunk.size else None
+        if bounds is None:
+            continue
+        low = bounds[0] if low is None else min(low, bounds[0])
+        high = bounds[1] if high is None else max(high, bounds[1])
+    if low is None or high is None:
+        return None
+    return OidRange(low=low, high=high)

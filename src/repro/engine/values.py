@@ -1,0 +1,121 @@
+"""Value handling between the OID world and the value world.
+
+The engine executes on OIDs for as long as possible.  Two bridges to actual
+values are needed:
+
+* **range predicates**: because literal OIDs are assigned in value order at
+  load time (see ``value_order_literals``), a value range such as
+  ``"1994-01-01" <= ?d < "1995-01-01"`` corresponds to one contiguous OID
+  interval; :class:`ValueEncoder` computes that interval by binary search
+  over the value-ordered literal OID sequence, so the predicate can run as a
+  cheap integer comparison (and feed zone maps);
+* **arithmetic / aggregation**: SUM(?price * ?discount) needs the numeric
+  values behind the OIDs; :class:`ValueDecoder` materializes a float for
+  each OID, with caching.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..model import Literal, Term, TermDictionary
+from ..model.terms import term_sort_key
+
+
+class ValueEncoder:
+    """Maps value-space constants and ranges to OID-space equivalents."""
+
+    def __init__(self, dictionary: TermDictionary) -> None:
+        self.dictionary = dictionary
+        self._literal_oids: Optional[list[int]] = None
+        self._literal_keys: Optional[list[tuple]] = None
+
+    def _ensure_literal_index(self) -> None:
+        if self._literal_oids is not None:
+            return
+        oids = self.dictionary.sorted_literal_oids()
+        self._literal_oids = oids
+        self._literal_keys = [term_sort_key(self.dictionary.decode(oid)) for oid in oids]
+
+    def invalidate(self) -> None:
+        """Drop cached indexes (call after the dictionary is remapped)."""
+        self._literal_oids = None
+        self._literal_keys = None
+
+    def term_oid(self, term: Term) -> Optional[int]:
+        """OID of an exact term, or ``None`` if it does not occur in the data."""
+        return self.dictionary.lookup_term(term)
+
+    def literal_range_to_oids(
+        self,
+        low: Optional[Literal],
+        high: Optional[Literal],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Optional[tuple[int, int]]:
+        """OID interval ``[lo_oid, hi_oid]`` covering a literal value range.
+
+        Returns ``None`` when no stored literal falls in the range.  Only
+        valid when literal OIDs are value-ordered (the loader guarantees
+        this); the interval is inclusive on both ends.
+        """
+        self._ensure_literal_index()
+        assert self._literal_oids is not None and self._literal_keys is not None
+        keys = self._literal_keys
+        lo_idx = 0
+        hi_idx = len(keys)
+        if low is not None:
+            key = term_sort_key(low)
+            lo_idx = bisect_left(keys, key) if low_inclusive else bisect_right(keys, key)
+        if high is not None:
+            key = term_sort_key(high)
+            hi_idx = bisect_right(keys, key) if high_inclusive else bisect_left(keys, key)
+        if hi_idx <= lo_idx:
+            return None
+        return self._literal_oids[lo_idx], self._literal_oids[hi_idx - 1]
+
+
+class ValueDecoder:
+    """Materializes numeric / python values behind OIDs, with caching."""
+
+    def __init__(self, dictionary: TermDictionary) -> None:
+        self.dictionary = dictionary
+        self._numeric_cache: Dict[int, float] = {}
+
+    def numeric(self, oid: int) -> float:
+        """Numeric value of an OID (NaN for non-numeric or unknown terms)."""
+        cached = self._numeric_cache.get(oid)
+        if cached is not None:
+            return cached
+        value = float("nan")
+        if oid >= 0:
+            term = self.dictionary.decode(oid)
+            if isinstance(term, Literal):
+                python_value = term.to_python()
+                if isinstance(python_value, bool):
+                    value = 1.0 if python_value else 0.0
+                elif isinstance(python_value, (int, float)):
+                    value = float(python_value)
+        self._numeric_cache[oid] = value
+        return value
+
+    def numeric_column(self, oids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`numeric` over an OID column."""
+        out = np.empty(len(oids), dtype=np.float64)
+        for i, oid in enumerate(oids):
+            out[i] = self.numeric(int(oid))
+        return out
+
+    def python_value(self, oid: int):
+        """Decoded Python value of an OID (IRI string, literal value, ...)."""
+        term = self.dictionary.decode(int(oid))
+        if isinstance(term, Literal):
+            return term.to_python()
+        return str(term)
+
+    def term(self, oid: int) -> Term:
+        """The decoded term itself."""
+        return self.dictionary.decode(int(oid))

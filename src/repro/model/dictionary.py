@@ -1,0 +1,149 @@
+"""Dictionary encoding of RDF terms to integer OIDs.
+
+RDF stores keep triples as integers.  The :class:`TermDictionary` maps each
+distinct term to a dense OID and back.  Two aspects matter for this paper's
+reproduction:
+
+* **OID assignment order matters.**  The paper observes that the (arbitrary)
+  parse-order OIDs given to subjects cause non-locality; subject clustering
+  later *re-assigns* subject OIDs grouped by characteristic set.  The
+  dictionary therefore supports bulk re-mapping of OIDs
+  (:meth:`TermDictionary.remap`).
+* **Value-ordered literal OIDs.**  The paper proposes ordering literal object
+  OIDs "in a way that is meaningful to SPARQL value comparison semantics" so
+  range predicates can be evaluated on OIDs directly.
+  :meth:`TermDictionary.reassign_value_ordered_literals` implements that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import DictionaryError
+from .terms import Literal, Term, term_sort_key
+from .triples import EncodedTriple, Triple
+
+
+class TermDictionary:
+    """Bidirectional mapping between RDF terms and dense integer OIDs.
+
+    OIDs are assigned in order of first appearance (parse order), starting
+    at 0.  The mapping is stable until :meth:`remap` or
+    :meth:`reassign_value_ordered_literals` is called.
+    """
+
+    def __init__(self) -> None:
+        self._term_to_oid: Dict[Term, int] = {}
+        self._oid_to_term: List[Term] = []
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode_term(self, term: Term) -> int:
+        """Return the OID for ``term``, assigning a fresh one if unseen."""
+        oid = self._term_to_oid.get(term)
+        if oid is None:
+            oid = len(self._oid_to_term)
+            self._term_to_oid[term] = oid
+            self._oid_to_term.append(term)
+        return oid
+
+    def lookup_term(self, term: Term) -> int | None:
+        """Return the OID for ``term`` or ``None`` if it has never been seen."""
+        return self._term_to_oid.get(term)
+
+    def encode_triple(self, triple: Triple) -> EncodedTriple:
+        """Encode a decoded triple into integer OIDs."""
+        return EncodedTriple(
+            self.encode_term(triple.subject),
+            self.encode_term(triple.predicate),
+            self.encode_term(triple.object),
+        )
+
+    def encode_triples(self, triples: Iterable[Triple]) -> Iterator[EncodedTriple]:
+        """Encode a stream of triples lazily."""
+        for triple in triples:
+            yield self.encode_triple(triple)
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, oid: int) -> Term:
+        """Return the term for ``oid``.
+
+        Raises
+        ------
+        DictionaryError
+            If the OID is out of range.
+        """
+        if 0 <= oid < len(self._oid_to_term):
+            return self._oid_to_term[oid]
+        raise DictionaryError(f"unknown OID {oid} (dictionary holds {len(self._oid_to_term)} terms)")
+
+    def decode_triple(self, encoded: EncodedTriple) -> Triple:
+        """Decode an encoded triple back to terms."""
+        subject = self.decode(encoded.s)
+        predicate = self.decode(encoded.p)
+        obj = self.decode(encoded.o)
+        return Triple(subject, predicate, obj)  # type: ignore[arg-type]
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._oid_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_oid
+
+    def terms(self) -> Iterator[Term]:
+        """Iterate over terms in OID order."""
+        return iter(self._oid_to_term)
+
+    def items(self) -> Iterator[tuple[Term, int]]:
+        """Iterate over ``(term, oid)`` pairs in OID order."""
+        for oid, term in enumerate(self._oid_to_term):
+            yield term, oid
+
+    # -- re-mapping ----------------------------------------------------------
+
+    def remap(self, mapping: Dict[int, int]) -> None:
+        """Permute OIDs according to ``mapping`` (old OID -> new OID).
+
+        The mapping must be a bijection over the full OID range.  OIDs absent
+        from the mapping keep their value; the result must still be a
+        permutation, otherwise :class:`DictionaryError` is raised.
+
+        This is how subject clustering re-labels subject OIDs: after CS
+        detection, subjects of the same CS receive a contiguous OID range.
+        """
+        size = len(self._oid_to_term)
+        new_to_old: List[int | None] = [None] * size
+        for old in range(size):
+            new = mapping.get(old, old)
+            if not 0 <= new < size:
+                raise DictionaryError(f"remap target {new} out of range 0..{size - 1}")
+            if new_to_old[new] is not None:
+                raise DictionaryError(f"remap is not a bijection: new OID {new} assigned twice")
+            new_to_old[new] = old
+        new_terms: List[Term] = [self._oid_to_term[old] for old in new_to_old]  # type: ignore[index]
+        self._oid_to_term = new_terms
+        self._term_to_oid = {term: oid for oid, term in enumerate(new_terms)}
+
+    def reassign_value_ordered_literals(self) -> Dict[int, int]:
+        """Reassign literal OIDs so that OID order matches value order.
+
+        Only literal OIDs are permuted (they trade positions among
+        themselves); IRI and BNode OIDs are untouched.  Returns the applied
+        mapping (old OID -> new OID) so that stored triples can be rewritten
+        by the caller.
+        """
+        literal_oids = [oid for oid, term in enumerate(self._oid_to_term) if isinstance(term, Literal)]
+        ranked = sorted(literal_oids, key=lambda oid: term_sort_key(self._oid_to_term[oid]))
+        mapping = {old: new for old, new in zip(ranked, sorted(literal_oids))}
+        identity = all(old == new for old, new in mapping.items())
+        if not identity:
+            self.remap(mapping)
+        return mapping
+
+    def sorted_literal_oids(self) -> List[int]:
+        """Return literal OIDs sorted by literal value order."""
+        literal_oids = [oid for oid, term in enumerate(self._oid_to_term) if isinstance(term, Literal)]
+        return sorted(literal_oids, key=lambda oid: term_sort_key(self._oid_to_term[oid]))

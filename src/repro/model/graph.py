@@ -1,0 +1,152 @@
+"""A small in-memory RDF graph.
+
+:class:`Graph` is the convenience container users interact with before the
+data is bulk-loaded into columnar storage: it holds decoded triples, supports
+pattern matching with ``None`` wildcards, and simple set algebra.  It is not
+meant to be fast — the columnar stores in :mod:`repro.storage` are the fast
+path — but it is the natural unit for parsers, generators and tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from .terms import IRI, BNode, Literal, RDF_TYPE, Term
+from .triples import Triple
+
+
+class Graph:
+    """A set of RDF triples with wildcard pattern matching."""
+
+    def __init__(self, triples: Iterable[Triple] | None = None) -> None:
+        self._triples: Set[Triple] = set()
+        self._by_subject: Dict[Term, Set[Triple]] = defaultdict(set)
+        self._by_predicate: Dict[IRI, Set[Triple]] = defaultdict(set)
+        self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+        if triples:
+            for triple in triples:
+                self.add(triple)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; return ``True`` if it was not already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject[triple.subject].add(triple)
+        self._by_predicate[triple.predicate].add(triple)
+        self._by_object[triple.object].add(triple)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; return the number actually inserted."""
+        return sum(1 for t in triples if self.add(t))
+
+    def discard(self, triple: Triple) -> bool:
+        """Remove a triple if present; return whether it was present."""
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[triple.subject].discard(triple)
+        self._by_predicate[triple.predicate].discard(triple)
+        self._by_object[triple.object].discard(triple)
+        return True
+
+    # -- queries -------------------------------------------------------------
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern; ``None`` is a wildcard."""
+        candidates: Iterable[Triple]
+        if subject is not None:
+            candidates = self._by_subject.get(subject, set())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, set())
+        elif obj is not None:
+            candidates = self._by_object.get(obj, set())
+        else:
+            candidates = self._triples
+        for triple in candidates:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def subjects(self) -> Set[Term]:
+        """Return the set of distinct subjects."""
+        return {s for s, bucket in self._by_subject.items() if bucket}
+
+    def predicates(self) -> Set[IRI]:
+        """Return the set of distinct predicates."""
+        return {p for p, bucket in self._by_predicate.items() if bucket}
+
+    def objects(self) -> Set[Term]:
+        """Return the set of distinct objects."""
+        return {o for o, bucket in self._by_object.items() if bucket}
+
+    def properties_of(self, subject: Term) -> Set[IRI]:
+        """Return the set of predicates that occur with ``subject``.
+
+        This is exactly the *characteristic set* of the subject, the notion
+        at the heart of the paper.
+        """
+        return {t.predicate for t in self._by_subject.get(subject, set())}
+
+    def value(self, subject: Term, predicate: IRI) -> Optional[Term]:
+        """Return one object for (subject, predicate), or ``None``."""
+        for triple in self.match(subject=subject, predicate=predicate):
+            return triple.object
+        return None
+
+    def values(self, subject: Term, predicate: IRI) -> list[Term]:
+        """Return all objects for (subject, predicate)."""
+        return [t.object for t in self.match(subject=subject, predicate=predicate)]
+
+    def type_of(self, subject: Term) -> Optional[Term]:
+        """Return the ``rdf:type`` object of ``subject`` if declared."""
+        return self.value(subject, IRI(RDF_TYPE))
+
+    # -- set behaviour -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __or__(self, other: "Graph") -> "Graph":
+        merged = Graph(self._triples)
+        merged.add_all(other)
+        return merged
+
+    # -- statistics ----------------------------------------------------------
+
+    def predicate_frequencies(self) -> Dict[IRI, int]:
+        """Return triple counts per predicate."""
+        return {p: len(bucket) for p, bucket in self._by_predicate.items() if bucket}
+
+    def literal_ratio(self) -> float:
+        """Fraction of triples whose object is a literal (0 when empty)."""
+        if not self._triples:
+            return 0.0
+        literals = sum(1 for t in self._triples if isinstance(t.object, Literal))
+        return literals / len(self._triples)
+
+    def describe(self, subject: Term) -> Dict[IRI, list[Term]]:
+        """Return a property -> objects map for one subject."""
+        out: Dict[IRI, list[Term]] = defaultdict(list)
+        for triple in self._by_subject.get(subject, set()):
+            out[triple.predicate].append(triple.object)
+        return dict(out)

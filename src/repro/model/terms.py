@@ -1,0 +1,309 @@
+"""RDF term model: IRIs, literals and blank nodes.
+
+The term classes are small immutable value objects.  They deliberately keep
+the surface close to the RDF 1.1 abstract syntax: a *term* is an IRI, a
+literal (with optional datatype IRI or language tag) or a blank node.  The
+library encodes terms to integer OIDs for storage (see
+:mod:`repro.model.dictionary`); these classes are the user-facing,
+decoded representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+from functools import total_ordering
+from typing import Union
+
+# Well known namespaces -----------------------------------------------------
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+RDF_NS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+RDFS_NS = "http://www.w3.org/2000/01/rdf-schema#"
+
+XSD_STRING = XSD + "string"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_BOOLEAN = XSD + "boolean"
+XSD_DATE = XSD + "date"
+XSD_DATETIME = XSD + "dateTime"
+RDF_TYPE = RDF_NS + "type"
+RDFS_LABEL = RDFS_NS + "label"
+
+
+class Term:
+    """Abstract base class for RDF terms."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Return the N-Triples serialization of this term."""
+        raise NotImplementedError
+
+    @property
+    def is_iri(self) -> bool:
+        return isinstance(self, IRI)
+
+    @property
+    def is_literal(self) -> bool:
+        return isinstance(self, Literal)
+
+    @property
+    def is_bnode(self) -> bool:
+        return isinstance(self, BNode)
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IRI(Term):
+    """An IRI reference, e.g. ``IRI("http://example.org/book/1")``."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI value must be a non-empty string")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def local_name(self) -> str:
+        """Return the part of the IRI after the last ``#`` or ``/``.
+
+        Useful for generating human readable labels from IRIs, as the schema
+        labeling pass does.
+        """
+        value = self.value
+        for sep in ("#", "/", ":"):
+            idx = value.rfind(sep)
+            if 0 <= idx < len(value) - 1:
+                return value[idx + 1:]
+        return value
+
+    def namespace(self) -> str:
+        """Return the IRI up to and including the last ``#`` or ``/``."""
+        value = self.value
+        for sep in ("#", "/"):
+            idx = value.rfind(sep)
+            if idx >= 0:
+                return value[: idx + 1]
+        return value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.value
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, IRI):
+            return self.value < other.value
+        if isinstance(other, Term):
+            return term_sort_key(self) < term_sort_key(other)
+        return NotImplemented
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class BNode(Term):
+    """A blank node with a document-scoped label."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("BNode label must be a non-empty string")
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"_:{self.label}"
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, BNode):
+            return self.label < other.label
+        if isinstance(other, Term):
+            return term_sort_key(self) < term_sort_key(other)
+        return NotImplemented
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class Literal(Term):
+    """An RDF literal: lexical form plus optional datatype or language tag."""
+
+    lexical: str
+    datatype: str | None = None
+    language: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.language is not None and self.datatype is not None:
+            raise ValueError("a literal cannot carry both a language tag and a datatype")
+
+    def n3(self) -> str:
+        escaped = escape_literal(self.lexical)
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    # -- typed value access --------------------------------------------------
+
+    def effective_datatype(self) -> str:
+        """Return the datatype IRI, defaulting to ``xsd:string``."""
+        if self.language:
+            return XSD_STRING
+        return self.datatype or XSD_STRING
+
+    def to_python(self) -> Union[str, int, float, bool, date, datetime]:
+        """Convert the literal to the closest native Python value.
+
+        Falls back to the lexical form when the datatype is unknown or the
+        lexical form does not parse under the declared datatype (real-world
+        RDF is dirty; we never raise here).
+        """
+        dt = self.effective_datatype()
+        text = self.lexical
+        try:
+            if dt == XSD_INTEGER or dt.endswith(("#int", "#long", "#short", "#byte",
+                                                 "#nonNegativeInteger", "#positiveInteger")):
+                return int(text)
+            if dt in (XSD_DECIMAL, XSD_DOUBLE) or dt.endswith("#float"):
+                return float(text)
+            if dt == XSD_BOOLEAN:
+                return text.strip().lower() in ("true", "1")
+            if dt == XSD_DATE:
+                return date.fromisoformat(text)
+            if dt == XSD_DATETIME:
+                return datetime.fromisoformat(text.replace("Z", "+00:00"))
+        except (ValueError, TypeError):
+            return text
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.lexical
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Literal):
+            return self.sort_key() < other.sort_key()
+        if isinstance(other, Term):
+            return term_sort_key(self) < term_sort_key(other)
+        return NotImplemented
+
+    def sort_key(self) -> tuple:
+        """Return a key ordering literals by value within their value class.
+
+        Numeric literals order numerically, dates chronologically, everything
+        else lexicographically.  The class rank keeps heterogeneous literals
+        comparable, which matters for assigning value-ordered object OIDs.
+        """
+        value = self.to_python()
+        if isinstance(value, bool):
+            return (0, int(value), self.lexical)
+        if isinstance(value, (int, float)):
+            return (1, float(value), self.lexical)
+        if isinstance(value, datetime):
+            return (2, value.isoformat(), self.lexical)
+        if isinstance(value, date):
+            return (2, value.isoformat(), self.lexical)
+        return (3, self.lexical, self.lexical)
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+
+def escape_literal(text: str) -> str:
+    """Escape a literal lexical form for N-Triples output.
+
+    Control characters (and the Unicode line/paragraph separators, which some
+    line splitters treat as newlines) are emitted as ``\\uXXXX`` escapes so
+    the serialized form always stays on one physical line.
+    """
+    out = []
+    for ch in text:
+        escaped = _ESCAPES.get(ch)
+        if escaped is not None:
+            out.append(escaped)
+        elif ord(ch) < 0x20 or ch in ("\x7f", "\x85", " ", " "):
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def unescape_literal(text: str) -> str:
+    """Reverse :func:`escape_literal` plus ``\\uXXXX`` escapes."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "\\" or i + 1 >= n:
+            out.append(ch)
+            i += 1
+            continue
+        nxt = text[i + 1]
+        if nxt == "n":
+            out.append("\n")
+            i += 2
+        elif nxt == "r":
+            out.append("\r")
+            i += 2
+        elif nxt == "t":
+            out.append("\t")
+            i += 2
+        elif nxt == '"':
+            out.append('"')
+            i += 2
+        elif nxt == "\\":
+            out.append("\\")
+            i += 2
+        elif nxt == "u" and i + 6 <= n:
+            out.append(chr(int(text[i + 2:i + 6], 16)))
+            i += 6
+        elif nxt == "U" and i + 10 <= n:
+            out.append(chr(int(text[i + 2:i + 10], 16)))
+            i += 10
+        else:
+            out.append(nxt)
+            i += 2
+    return "".join(out)
+
+
+def term_sort_key(term: Term) -> tuple:
+    """Total order over heterogeneous terms: IRIs < BNodes < Literals.
+
+    Used when assigning OIDs so that the dictionary order is deterministic.
+    """
+    if isinstance(term, IRI):
+        return (0, term.value, "", "")
+    if isinstance(term, BNode):
+        return (1, term.label, "", "")
+    if isinstance(term, Literal):
+        key = term.sort_key()
+        return (2, key[0], key[1], key[2])
+    raise TypeError(f"not an RDF term: {term!r}")
+
+
+def literal_from_python(value: Union[str, int, float, bool, date, datetime]) -> Literal:
+    """Build a typed :class:`Literal` from a native Python value."""
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    if isinstance(value, datetime):
+        return Literal(value.isoformat(), datatype=XSD_DATETIME)
+    if isinstance(value, date):
+        return Literal(value.isoformat(), datatype=XSD_DATE)
+    return Literal(str(value))

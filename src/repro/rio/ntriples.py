@@ -1,0 +1,180 @@
+"""N-Triples parser and serializer.
+
+N-Triples is the line-oriented RDF exchange syntax: one triple per line,
+IRIs in angle brackets, literals in double quotes with optional ``@lang`` or
+``^^<datatype>`` suffix, blank nodes as ``_:label``.  The parser here is a
+hand-written scanner that accepts the common subset produced by real tools
+(including comment lines and blank lines) and reports positions on error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO, Union
+
+from ..errors import ParseError
+from ..model import BNode, IRI, Literal, Triple
+from ..model.terms import unescape_literal
+
+
+def parse_ntriples(source: Union[str, TextIO, Iterable[str]]) -> Iterator[Triple]:
+    """Parse N-Triples from a string, open file or iterable of lines.
+
+    Yields :class:`~repro.model.Triple` objects.  Comment lines (starting
+    with ``#``) and blank lines are skipped.
+
+    Raises
+    ------
+    ParseError
+        On malformed input, with the 1-based line number.
+    """
+    if isinstance(source, str):
+        # split strictly on '\n': literals may legally contain other Unicode
+        # line-boundary characters, which str.splitlines() would break on
+        lines: Iterable[str] = source.split("\n")
+    else:
+        lines = source
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(line, lineno)
+
+
+def _parse_line(line: str, lineno: int) -> Triple:
+    scanner = _Scanner(line, lineno)
+    subject = scanner.read_subject()
+    scanner.skip_ws(required=True)
+    predicate = scanner.read_iri()
+    scanner.skip_ws(required=True)
+    obj = scanner.read_object()
+    scanner.skip_ws(required=False)
+    scanner.expect(".")
+    scanner.skip_ws(required=False)
+    if not scanner.at_end():
+        raise ParseError("trailing characters after '.'", line=lineno, column=scanner.pos + 1)
+    return Triple(subject, predicate, obj)
+
+
+class _Scanner:
+    """Character scanner over one N-Triples line."""
+
+    def __init__(self, line: str, lineno: int) -> None:
+        self.line = line
+        self.lineno = lineno
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        if self.at_end():
+            return ""
+        return self.line[self.pos]
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.lineno, column=self.pos + 1)
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def skip_ws(self, required: bool) -> None:
+        start = self.pos
+        while not self.at_end() and self.line[self.pos] in " \t":
+            self.pos += 1
+        if required and self.pos == start:
+            raise self.error("expected whitespace")
+
+    def read_subject(self):
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        raise self.error("subject must be an IRI or blank node")
+
+    def read_object(self):
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        if ch == '"':
+            return self.read_literal()
+        raise self.error("object must be an IRI, blank node or literal")
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI (missing '>')")
+        value = self.line[self.pos:end]
+        self.pos = end + 1
+        if not value:
+            raise self.error("empty IRI")
+        return IRI(value)
+
+    def read_bnode(self) -> BNode:
+        if not self.line.startswith("_:", self.pos):
+            raise self.error("blank node must start with '_:'")
+        self.pos += 2
+        start = self.pos
+        while not self.at_end() and not self.line[self.pos].isspace():
+            self.pos += 1
+        label = self.line[start:self.pos]
+        if not label:
+            raise self.error("empty blank node label")
+        return BNode(label)
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        chars = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            ch = self.line[self.pos]
+            if ch == "\\":
+                if self.pos + 1 >= len(self.line):
+                    raise self.error("dangling escape in literal")
+                chars.append(self.line[self.pos:self.pos + 2])
+                self.pos += 2
+                continue
+            if ch == '"':
+                self.pos += 1
+                break
+            chars.append(ch)
+            self.pos += 1
+        lexical = unescape_literal("".join(chars))
+        # optional language tag or datatype
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while not self.at_end() and (self.line[self.pos].isalnum() or self.line[self.pos] == "-"):
+                self.pos += 1
+            language = self.line[start:self.pos]
+            if not language:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=language)
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def serialize_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to an N-Triples document string."""
+    return "".join(t.n3() + "\n" for t in triples)
+
+
+def write_ntriples(triples: Iterable[Triple], sink: TextIO) -> int:
+    """Write triples to an open text file; return the number written."""
+    count = 0
+    for triple in triples:
+        sink.write(triple.n3() + "\n")
+        count += 1
+    return count

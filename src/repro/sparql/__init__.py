@@ -1,0 +1,86 @@
+"""SPARQL frontend: parser, CS-aware planner and a convenience engine."""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..columnar import QueryCost
+from ..engine import BindingTable, ExecutionContext, PhysicalOperator, execute_plan
+from .ast import (
+    AggregateExpr,
+    ArithmeticExpr,
+    Comparison,
+    OrderCondition,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from .parser import parse_sparql
+from .planner import DEFAULT_SCHEME, RDFSCAN_SCHEME, PlannerOptions, SparqlPlanner
+
+__all__ = [
+    "AggregateExpr",
+    "ArithmeticExpr",
+    "Comparison",
+    "DEFAULT_SCHEME",
+    "OrderCondition",
+    "PlannerOptions",
+    "QueryResult",
+    "RDFSCAN_SCHEME",
+    "SelectQuery",
+    "SparqlEngine",
+    "SparqlPlanner",
+    "TriplePattern",
+    "Variable",
+    "parse_sparql",
+]
+
+
+@dataclass
+class QueryResult:
+    """Result of a SPARQL execution: bindings, cost and the plan used."""
+
+    bindings: BindingTable
+    cost: QueryCost
+    plan: PhysicalOperator
+    columns: List[str]
+
+    def rows(self) -> List[tuple]:
+        """OID/value rows in column order."""
+        arrays = [self.bindings.column(name) for name in self.columns]
+        return [tuple(array[i].item() for array in arrays) for i in range(self.bindings.num_rows)]
+
+    def decoded_rows(self, context: ExecutionContext) -> List[tuple]:
+        """Rows with OIDs decoded back to Python values (floats stay floats)."""
+        out = []
+        for row in self.rows():
+            decoded = []
+            for name, value in zip(self.columns, row):
+                if isinstance(value, float):
+                    decoded.append(value)
+                else:
+                    decoded.append(context.decoder.python_value(int(value)))
+            out.append(tuple(decoded))
+        return out
+
+    def __len__(self) -> int:
+        return self.bindings.num_rows
+
+
+class SparqlEngine:
+    """Parse, plan and execute SPARQL against an :class:`ExecutionContext`."""
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+        self.planner = SparqlPlanner(context)
+
+    def prepare(self, text: str, options: Optional[PlannerOptions] = None) -> Tuple[SelectQuery, PhysicalOperator]:
+        """Parse and plan a query without executing it."""
+        query = parse_sparql(text)
+        plan = self.planner.plan(query, options)
+        return query, plan
+
+    def query(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
+        """Parse, plan and execute a query."""
+        parsed, plan = self.prepare(text, options)
+        bindings, cost = execute_plan(plan, self.context)
+        return QueryResult(bindings=bindings, cost=cost, plan=plan, columns=parsed.output_names())

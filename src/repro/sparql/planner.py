@@ -1,0 +1,605 @@
+"""CS-aware SPARQL planner: lowers a parsed query to a physical plan.
+
+Two plan schemes reproduce the two halves of Table I:
+
+* ``default`` — every triple pattern becomes an index scan against the
+  exhaustive permutation store; patterns sharing a subject are combined with
+  nested-loop index joins (one join per additional property), patterns
+  connected through other variables with hash joins;
+* ``rdfscan`` — patterns sharing a subject are grouped into star patterns
+  and handed to a single RDFscan; stars connected over a discovered foreign
+  key become RDFjoins fed by the upstream star.
+
+FILTER comparisons over literals are translated to OID ranges (the loader
+assigns value-ordered literal OIDs) and pushed into the scans.  With zone
+maps enabled and a clustered store present, range predicates are further
+pushed *across* foreign keys using the CS blocks' zone maps, reproducing the
+paper's cross-table date restriction on RDF-H Q3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PlanError
+from ..model import IRI, Literal, Term
+from ..engine import (
+    AggregateOp,
+    AggregateSpec,
+    BinaryOp,
+    BindingTable,
+    DistinctOp,
+    ExecutionContext,
+    Expression,
+    FilterEqualOp,
+    FilterRangeOp,
+    HashJoinOp,
+    IndexScanOp,
+    LimitOp,
+    MaterializedOp,
+    NestedLoopIndexJoinOp,
+    NumericConst,
+    NumericVar,
+    OidRange,
+    OrderByOp,
+    PatternTerm,
+    PhysicalOperator,
+    ProjectOp,
+    RDFJoinOp,
+    RDFScanOp,
+    StarPattern,
+    StarProperty,
+    TriplePatternPlan,
+    fk_range_from_zonemap,
+    subject_range_for_property_range,
+)
+from ..engine.operators import FilterNotEqualOp
+from .ast import AggregateExpr, ArithmeticExpr, Comparison, SelectQuery, TriplePattern, Variable
+
+DEFAULT_SCHEME = "default"
+RDFSCAN_SCHEME = "rdfscan"
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Plan-scheme configuration (one row of Table I)."""
+
+    scheme: str = RDFSCAN_SCHEME
+    use_zone_maps: bool = False
+    force_index_path: bool = False
+    """Evaluate RDFscan/RDFjoin over the PSO projections even when a
+    clustered store exists (the ParseOrder + RDFscan configuration)."""
+
+    def describe(self) -> str:
+        return (f"scheme={self.scheme} zonemaps={'yes' if self.use_zone_maps else 'no'}"
+                f"{' index-path' if self.force_index_path else ''}")
+
+
+@dataclass
+class _VarConstraint:
+    """Accumulated FILTER constraints for one variable, in OID space."""
+
+    equal_oid: Optional[int] = None
+    not_equal_oids: List[int] = field(default_factory=list)
+    oid_range: OidRange = field(default_factory=OidRange)
+    unsatisfiable: bool = False
+
+
+class SparqlPlanner:
+    """Translates :class:`SelectQuery` ASTs into physical plans."""
+
+    def __init__(self, context: ExecutionContext) -> None:
+        self.context = context
+
+    # -- public entry point -----------------------------------------------------
+
+    def plan(self, query: SelectQuery, options: PlannerOptions | None = None) -> PhysicalOperator:
+        options = options or PlannerOptions()
+        if options.scheme not in (DEFAULT_SCHEME, RDFSCAN_SCHEME):
+            raise PlanError(f"unknown plan scheme {options.scheme!r}")
+
+        constraints, residual_filters = self._translate_filters(query)
+        if any(c.unsatisfiable for c in constraints.values()):
+            return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (unsatisfiable filter)")
+
+        stars, loose_patterns = self._group_stars(query)
+        if stars is None:
+            return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (unknown term)")
+
+        if options.scheme == RDFSCAN_SCHEME:
+            root = self._plan_rdfscan(stars, loose_patterns, constraints, options)
+        else:
+            root = self._plan_default(stars, loose_patterns, constraints, options)
+
+        if root is None:
+            return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (no patterns)")
+
+        root = self._apply_not_equal_constraints(root, query, constraints)
+        root = self._apply_residual_filters(root, residual_filters)
+        root = self._apply_solution_modifiers(root, query)
+        return root
+
+    def _apply_not_equal_constraints(self, root: PhysicalOperator, query: SelectQuery,
+                                     constraints: Dict[str, _VarConstraint]) -> PhysicalOperator:
+        pattern_vars = set(query.all_variables())
+        for var, constraint in constraints.items():
+            if var not in pattern_vars:
+                continue
+            for oid in constraint.not_equal_oids:
+                root = FilterNotEqualOp(root, var, oid)
+        return root
+
+    # -- filter translation --------------------------------------------------------
+
+    def _translate_filters(self, query: SelectQuery) -> Tuple[Dict[str, _VarConstraint], List[Comparison]]:
+        constraints: Dict[str, _VarConstraint] = {}
+        residual: List[Comparison] = []
+        for comparison in query.filters:
+            constraint = constraints.setdefault(comparison.variable, _VarConstraint())
+            if not self._push_comparison(constraint, comparison):
+                residual.append(comparison)
+        return constraints, residual
+
+    def _push_comparison(self, constraint: _VarConstraint, comparison: Comparison) -> bool:
+        value = comparison.value
+        encoder = self.context.encoder
+        if comparison.op in ("=", "!="):
+            oid = encoder.term_oid(value)
+            if comparison.op == "=":
+                if oid is None:
+                    constraint.unsatisfiable = True
+                elif constraint.equal_oid is not None and constraint.equal_oid != oid:
+                    constraint.unsatisfiable = True
+                else:
+                    constraint.equal_oid = oid
+            else:
+                if oid is not None:
+                    constraint.not_equal_oids.append(oid)
+            return True
+        if not isinstance(value, Literal):
+            return False  # range comparison over IRIs: leave as residual (unsupported push-down)
+        low: Optional[Literal] = None
+        high: Optional[Literal] = None
+        low_inclusive = high_inclusive = True
+        if comparison.op in (">", ">="):
+            low = value
+            low_inclusive = comparison.op == ">="
+        else:
+            high = value
+            high_inclusive = comparison.op == "<="
+        bounds = encoder.literal_range_to_oids(low, high, low_inclusive, high_inclusive)
+        if bounds is None:
+            constraint.unsatisfiable = True
+            return True
+        constraint.oid_range = constraint.oid_range.intersect(OidRange(bounds[0], bounds[1]))
+        return True
+
+    # -- pattern grouping -------------------------------------------------------------
+
+    def _group_stars(self, query: SelectQuery):
+        """Group patterns by subject variable; returns (stars, loose patterns).
+
+        Returns ``(None, None)`` when a constant term does not occur in the
+        data (the query result is empty).
+        """
+        stars: Dict[str, List[Tuple[int, TriplePattern]]] = {}
+        loose: List[TriplePattern] = []
+        for pattern in query.patterns:
+            predicate_oid = None
+            if not isinstance(pattern.predicate, Variable):
+                predicate_oid = self.context.encoder.term_oid(pattern.predicate)
+                if predicate_oid is None:
+                    return None, None
+            if isinstance(pattern.subject, Variable) and predicate_oid is not None:
+                stars.setdefault(pattern.subject.name, []).append((predicate_oid, pattern))
+            else:
+                loose.append(pattern)
+        return stars, loose
+
+    def _pattern_object_term(self, pattern: TriplePattern) -> Optional[PatternTerm]:
+        obj = pattern.object
+        if isinstance(obj, Variable):
+            return PatternTerm.variable(obj.name)
+        oid = self.context.encoder.term_oid(obj)
+        if oid is None:
+            return None
+        return PatternTerm.constant(oid)
+
+    def _build_star(self, subject_var: str, members: List[Tuple[int, TriplePattern]],
+                    constraints: Dict[str, _VarConstraint]) -> Optional[StarPattern]:
+        properties: List[StarProperty] = []
+        for predicate_oid, pattern in members:
+            object_term = self._pattern_object_term(pattern)
+            if object_term is None:
+                return None
+            oid_range: Optional[OidRange] = None
+            if object_term.is_variable:
+                constraint = constraints.get(object_term.var)
+                if constraint is not None:
+                    if constraint.equal_oid is not None:
+                        object_term = PatternTerm.constant(constraint.equal_oid)
+                    elif not constraint.oid_range.is_unbounded():
+                        oid_range = constraint.oid_range
+            properties.append(StarProperty(predicate_oid=predicate_oid, object_term=object_term,
+                                           oid_range=oid_range))
+        subject_constraint = constraints.get(subject_var)
+        subject_range = None
+        if subject_constraint is not None and not subject_constraint.oid_range.is_unbounded():
+            subject_range = subject_constraint.oid_range
+        return StarPattern(subject_var=subject_var, properties=properties, subject_range=subject_range)
+
+    # -- RDFscan / RDFjoin scheme -------------------------------------------------------
+
+    def _plan_rdfscan(self, stars, loose_patterns, constraints, options: PlannerOptions):
+        star_patterns: Dict[str, StarPattern] = {}
+        for subject_var, members in stars.items():
+            star = self._build_star(subject_var, members, constraints)
+            if star is None:
+                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+            star_patterns[subject_var] = star
+
+        if options.use_zone_maps and self.context.has_clustered_store() and not options.force_index_path:
+            self._apply_zone_map_pushdown(star_patterns)
+
+        ordered = self._order_stars(star_patterns)
+        root: Optional[PhysicalOperator] = None
+        planned_vars: set[str] = set()
+        for star in ordered:
+            if root is None:
+                root = RDFScanOp(star, use_zone_maps=options.use_zone_maps,
+                                 force_index_path=options.force_index_path)
+            elif star.subject_var in planned_vars:
+                root = RDFJoinOp(root, star, use_zone_maps=options.use_zone_maps,
+                                 force_index_path=options.force_index_path)
+            else:
+                root = self._connect_star(root, star, planned_vars, options)
+            planned_vars.update(star.output_variables())
+
+        root = self._join_loose_patterns(root, loose_patterns, constraints, planned_vars)
+        return root
+
+    def _connect_star(self, root: PhysicalOperator, star: StarPattern, planned_vars: set[str],
+                      options: PlannerOptions) -> PhysicalOperator:
+        """Join a star whose subject is not yet bound into the running plan.
+
+        The Fig. 4(b) case: when the star references an already-planned star
+        through one of its properties (``?s prop4 ?s2`` with ``?s2`` bound),
+        that property is scanned on its own, joined with the plan so far to
+        obtain candidate subjects, and the *rest* of the star is evaluated by
+        RDFjoin over those candidates.  Otherwise the whole star is RDFscanned
+        and hash-joined on the shared variables.
+        """
+        linking = next((prop for prop in star.properties
+                        if prop.object_term.is_variable and prop.object_term.var in planned_vars),
+                       None)
+        remaining = [prop for prop in star.properties if prop is not linking]
+        if linking is not None and remaining:
+            link_scan = IndexScanOp(
+                TriplePatternPlan(PatternTerm.variable(star.subject_var),
+                                  PatternTerm.constant(linking.predicate_oid),
+                                  linking.object_term),
+                object_range=linking.oid_range,
+                subject_range=star.subject_range,
+            )
+            joined = HashJoinOp(root, link_scan, join_vars=[linking.object_term.var])
+            rest = StarPattern(subject_var=star.subject_var, properties=remaining,
+                               subject_range=star.subject_range)
+            return RDFJoinOp(joined, rest, use_zone_maps=options.use_zone_maps,
+                             force_index_path=options.force_index_path)
+        scan = RDFScanOp(star, use_zone_maps=options.use_zone_maps,
+                         force_index_path=options.force_index_path)
+        shared = sorted(planned_vars & set(star.output_variables()))
+        return HashJoinOp(root, scan, join_vars=shared or None)
+
+    def _order_stars(self, star_patterns: Dict[str, StarPattern]) -> List[StarPattern]:
+        """Plan constrained stars first, then stars reachable from planned ones."""
+
+        def constraint_score(star: StarPattern) -> int:
+            # constrained stars first; among equally constrained ones prefer the
+            # wider star so that narrow satellite stars become RDFjoins fed by it
+            score = len(star.properties)
+            for prop in star.properties:
+                if not prop.object_term.is_variable:
+                    score += 20
+                if prop.oid_range is not None and not prop.oid_range.is_unbounded():
+                    score += 20
+            if star.subject_range is not None and not star.subject_range.is_unbounded():
+                score += 20
+            return score
+
+        remaining = dict(star_patterns)
+        ordered: List[StarPattern] = []
+        available_vars: set[str] = set()
+        while remaining:
+            # prefer a star whose subject is already bound (enables RDFjoin), then
+            # any star connected to the plan so far, then the most constrained one
+            def connectivity(star: StarPattern) -> int:
+                if star.subject_var in available_vars:
+                    return 0
+                if available_vars & set(star.output_variables()):
+                    return 1
+                return 2 if available_vars else 1
+
+            candidates = sorted(
+                remaining.values(),
+                key=lambda s: (connectivity(s), -constraint_score(s), s.subject_var),
+            )
+            chosen = candidates[0]
+            ordered.append(chosen)
+            available_vars.update(chosen.output_variables())
+            del remaining[chosen.subject_var]
+        return ordered
+
+    def _apply_zone_map_pushdown(self, star_patterns: Dict[str, StarPattern]) -> None:
+        """Derive subject ranges from sorted columns and push them across FKs."""
+        store = self.context.clustered_store
+        if store is None:
+            return
+        block_of_star: Dict[str, object] = {}
+        for subject_var, star in star_patterns.items():
+            blocks = store.blocks_with_properties(star.predicate_oids())
+            if len(blocks) == 1:
+                block_of_star[subject_var] = blocks[0]
+
+        # pass 1: subject ranges from range predicates over sub-ordered columns
+        for subject_var, star in star_patterns.items():
+            block = block_of_star.get(subject_var)
+            if block is None:
+                continue
+            for prop in star.properties:
+                if prop.oid_range is None or prop.oid_range.is_unbounded():
+                    continue
+                derived = subject_range_for_property_range(block, prop.predicate_oid, prop.oid_range)
+                if derived is not None:
+                    star.subject_range = derived if star.subject_range is None \
+                        else star.subject_range.intersect(derived)
+
+        # pass 2: push ranges across foreign keys, in both directions
+        for subject_var, star in star_patterns.items():
+            block = block_of_star.get(subject_var)
+            for prop in star.properties:
+                if not prop.object_term.is_variable:
+                    continue
+                target = star_patterns.get(prop.object_term.var)
+                if target is None or target is star:
+                    continue
+                # (a) the referenced star's subject range restricts this FK column
+                if target.subject_range is not None and not target.subject_range.is_unbounded():
+                    prop.oid_range = target.subject_range if prop.oid_range is None \
+                        else prop.oid_range.intersect(target.subject_range)
+                # (b) a range predicate on this star, via zone maps, bounds the FK values
+                if block is not None:
+                    for other in star.properties:
+                        if other is prop or other.oid_range is None or other.oid_range.is_unbounded():
+                            continue
+                        fk_bounds = fk_range_from_zonemap(block, other.predicate_oid, other.oid_range,
+                                                          prop.predicate_oid)
+                        if fk_bounds is not None:
+                            target.subject_range = fk_bounds if target.subject_range is None \
+                                else target.subject_range.intersect(fk_bounds)
+
+    # -- default scheme --------------------------------------------------------------------
+
+    def _plan_default(self, stars, loose_patterns, constraints, options: PlannerOptions):
+        root: Optional[PhysicalOperator] = None
+        planned_vars: set[str] = set()
+
+        # With zone maps on a clustered store, derive the same pushed-down
+        # ranges the RDFscan scheme uses and hand them to the index scans.
+        pushed: Dict[str, StarPattern] = {}
+        if options.use_zone_maps and self.context.has_clustered_store():
+            for subject_var, members in stars.items():
+                star = self._build_star(subject_var, members, constraints)
+                if star is None:
+                    return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                pushed[subject_var] = star
+            self._apply_zone_map_pushdown(pushed)
+
+        ordered_subjects = sorted(
+            stars,
+            key=lambda subject: -self._default_star_score(stars[subject], constraints),
+        )
+        for subject_var in ordered_subjects:
+            members = stars[subject_var]
+            star_plan = self._plan_default_star(subject_var, members, constraints, options,
+                                                pushed.get(subject_var))
+            if star_plan is None:
+                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+            if root is None:
+                root = star_plan
+            else:
+                shared = sorted(planned_vars & set(self._star_member_vars(subject_var, members)))
+                root = HashJoinOp(root, star_plan, join_vars=shared or None)
+            planned_vars.update(self._star_member_vars(subject_var, members))
+
+        root = self._join_loose_patterns(root, loose_patterns, constraints, planned_vars)
+        return root
+
+    def _star_member_vars(self, subject_var: str, members) -> List[str]:
+        names = [subject_var]
+        for _oid, pattern in members:
+            for name in pattern.variables():
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def _default_star_score(self, members, constraints) -> int:
+        score = 0
+        for _oid, pattern in members:
+            if not isinstance(pattern.object, Variable):
+                score += 3
+            else:
+                constraint = constraints.get(pattern.object.name)
+                if constraint is not None and (constraint.equal_oid is not None
+                                               or not constraint.oid_range.is_unbounded()):
+                    score += 2
+        return score
+
+    def _plan_default_star(self, subject_var: str, members, constraints,
+                           options: PlannerOptions,
+                           pushed_star: Optional[StarPattern] = None) -> Optional[PhysicalOperator]:
+        """Index scan for the most selective pattern, nested-loop index joins
+        for every further property — the plan shape of Fig. 4 (left side)."""
+
+        def selectivity_rank(member) -> int:
+            _oid, pattern = member
+            if not isinstance(pattern.object, Variable):
+                return 0
+            constraint = constraints.get(pattern.object.name)
+            if constraint is not None and constraint.equal_oid is not None:
+                return 0
+            if constraint is not None and not constraint.oid_range.is_unbounded():
+                return 1
+            return 2
+
+        ordered = sorted(members, key=selectivity_rank)
+        subject_range = self._default_subject_range(subject_var, members, constraints, options)
+        if pushed_star is not None and pushed_star.subject_range is not None:
+            subject_range = pushed_star.subject_range if subject_range is None \
+                else subject_range.intersect(pushed_star.subject_range)
+
+        plans: List[Tuple[TriplePatternPlan, Optional[OidRange]]] = []
+        for predicate_oid, pattern in ordered:
+            object_term = self._pattern_object_term(pattern)
+            if object_term is None:
+                return None
+            oid_range = None
+            if object_term.is_variable:
+                constraint = constraints.get(object_term.var)
+                if constraint is not None:
+                    if constraint.equal_oid is not None:
+                        object_term = PatternTerm.constant(constraint.equal_oid)
+                    elif not constraint.oid_range.is_unbounded():
+                        oid_range = constraint.oid_range
+                if pushed_star is not None:
+                    pushed_prop = pushed_star.property_for(predicate_oid)
+                    if (pushed_prop is not None and pushed_prop.oid_range is not None
+                            and not pushed_prop.oid_range.is_unbounded()):
+                        oid_range = pushed_prop.oid_range if oid_range is None \
+                            else oid_range.intersect(pushed_prop.oid_range)
+            plans.append((TriplePatternPlan(PatternTerm.variable(subject_var),
+                                            PatternTerm.constant(predicate_oid),
+                                            object_term), oid_range))
+
+        first_pattern, first_range = plans[0]
+        root: PhysicalOperator = IndexScanOp(first_pattern, object_range=first_range,
+                                             subject_range=subject_range)
+        for pattern_plan, oid_range in plans[1:]:
+            root = NestedLoopIndexJoinOp(root, pattern_plan, object_range=oid_range)
+        return root
+
+    def _default_subject_range(self, subject_var: str, members, constraints,
+                               options: PlannerOptions) -> Optional[OidRange]:
+        """Zone-map style subject restriction for the Default scheme.
+
+        When the store is clustered and zone maps are enabled, a range
+        predicate on a sub-ordered property restricts the subject OIDs that
+        can match; the Default plan benefits by pushing that interval into
+        its first index scan.
+        """
+        constraint = constraints.get(subject_var)
+        base = constraint.oid_range if constraint is not None and not constraint.oid_range.is_unbounded() \
+            else None
+        if not options.use_zone_maps or not self.context.has_clustered_store():
+            return base
+        store = self.context.clustered_store
+        predicate_oids = [oid for oid, _pattern in members]
+        blocks = store.blocks_with_properties(predicate_oids)
+        if len(blocks) != 1:
+            return base
+        block = blocks[0]
+        derived = base
+        for predicate_oid, pattern in members:
+            if not isinstance(pattern.object, Variable):
+                continue
+            var_constraint = constraints.get(pattern.object.name)
+            if var_constraint is None or var_constraint.oid_range.is_unbounded():
+                continue
+            bounds = subject_range_for_property_range(block, predicate_oid, var_constraint.oid_range)
+            if bounds is not None:
+                derived = bounds if derived is None else derived.intersect(bounds)
+        return derived
+
+    # -- shared helpers -------------------------------------------------------------------
+
+    def _join_loose_patterns(self, root: Optional[PhysicalOperator], loose_patterns,
+                             constraints, planned_vars: set[str]) -> Optional[PhysicalOperator]:
+        for pattern in loose_patterns:
+            plan = self._plan_single_pattern(pattern, constraints)
+            if plan is None:
+                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+            pattern_vars = set(pattern.variables())
+            if root is None:
+                root = plan
+            else:
+                shared = sorted(planned_vars & pattern_vars)
+                root = HashJoinOp(root, plan, join_vars=shared or None)
+            planned_vars.update(pattern_vars)
+        return root
+
+    def _plan_single_pattern(self, pattern: TriplePattern, constraints) -> Optional[PhysicalOperator]:
+        terms = {}
+        for slot, node in (("s", pattern.subject), ("p", pattern.predicate), ("o", pattern.object)):
+            if isinstance(node, Variable):
+                terms[slot] = PatternTerm.variable(node.name)
+            else:
+                oid = self.context.encoder.term_oid(node)
+                if oid is None:
+                    return None
+                terms[slot] = PatternTerm.constant(oid)
+        object_range = None
+        if terms["o"].is_variable:
+            constraint = constraints.get(terms["o"].var)
+            if constraint is not None and not constraint.oid_range.is_unbounded():
+                object_range = constraint.oid_range
+        return IndexScanOp(TriplePatternPlan(terms["s"], terms["p"], terms["o"]),
+                           object_range=object_range)
+
+    def _apply_residual_filters(self, root: PhysicalOperator, residual: List[Comparison]) -> PhysicalOperator:
+        for comparison in residual:
+            oid = self.context.encoder.term_oid(comparison.value)
+            if comparison.op == "=" and oid is not None:
+                root = FilterEqualOp(root, comparison.variable, oid)
+            elif comparison.op == "!=" and oid is not None:
+                root = FilterNotEqualOp(root, comparison.variable, oid)
+            # other residual comparisons (e.g. IRI ranges) are not supported;
+            # they would have been rejected earlier by the parser/tests.
+        return root
+
+    def _apply_solution_modifiers(self, root: PhysicalOperator, query: SelectQuery) -> PhysicalOperator:
+        # also re-apply pushed constraints defensively on output variables that
+        # may have been produced by more than one pattern
+        if query.has_aggregates():
+            aggregates = [self._aggregate_spec(agg) for agg in query.aggregates]
+            root = AggregateOp(root, group_vars=query.group_by, aggregates=aggregates)
+        if query.distinct and not query.has_aggregates():
+            root = DistinctOp(ProjectOp(root, query.select_variables))
+        if query.order_by:
+            keys = [(cond.variable, cond.descending) for cond in query.order_by]
+            root = OrderByOp(root, keys)
+        if query.limit is not None:
+            root = LimitOp(root, query.limit)
+        output = query.output_names()
+        if output:
+            root = ProjectOp(root, output)
+        return root
+
+    def _aggregate_spec(self, aggregate: AggregateExpr) -> AggregateSpec:
+        return AggregateSpec(func=aggregate.func,
+                             expression=_arithmetic_to_expression(aggregate.expression),
+                             alias=aggregate.alias)
+
+
+def _arithmetic_to_expression(expr: ArithmeticExpr) -> Expression:
+    def convert(node: object) -> Expression:
+        if isinstance(node, str):
+            return NumericVar(node)
+        if isinstance(node, (int, float)):
+            return NumericConst(float(node))
+        if isinstance(node, tuple):
+            op, left, right = node
+            return BinaryOp(op, convert(left), convert(right))
+        raise PlanError(f"unsupported arithmetic node {node!r}")
+
+    return convert(expr.node)

@@ -1,0 +1,21 @@
+"""SQL view over the emergent relational schema."""
+
+from .catalog import Catalog, CatalogColumn, CatalogTable, ID_COLUMN
+from .engine import SqlEngine, SqlResult
+from .parser import ColumnRef, SelectItem, SqlConstant, SqlJoin, SqlPredicate, SqlQuery, parse_sql
+
+__all__ = [
+    "Catalog",
+    "CatalogColumn",
+    "CatalogTable",
+    "ColumnRef",
+    "ID_COLUMN",
+    "SelectItem",
+    "SqlConstant",
+    "SqlEngine",
+    "SqlJoin",
+    "SqlPredicate",
+    "SqlQuery",
+    "SqlResult",
+    "parse_sql",
+]

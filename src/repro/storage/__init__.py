@@ -1,0 +1,32 @@
+"""Physical storage: triple tables, exhaustive indexes and the clustered store."""
+
+from .clustered import CSBlock, ClusteredStore
+from .loader import (
+    ClusteringPlan,
+    LoadedDataset,
+    apply_oid_mapping,
+    build_triple_table,
+    cluster_subjects,
+    encode_graph,
+    plan_subject_clustering,
+    value_order_literals,
+)
+from .permutation_index import ExhaustiveIndexStore
+from .triple_table import ORDERS, TripleTable, deduplicate_triples
+
+__all__ = [
+    "CSBlock",
+    "ClusteredStore",
+    "ClusteringPlan",
+    "ExhaustiveIndexStore",
+    "LoadedDataset",
+    "ORDERS",
+    "TripleTable",
+    "apply_oid_mapping",
+    "build_triple_table",
+    "cluster_subjects",
+    "deduplicate_triples",
+    "encode_graph",
+    "plan_subject_clustering",
+    "value_order_literals",
+]

@@ -1,0 +1,222 @@
+"""The basic triple table: three parallel columns in a chosen sort order.
+
+MonetDB's RDF prototype keeps triples as BATs sorted in PSO order.  The
+:class:`TripleTable` generalizes this to any of the six permutations of
+(S, P, O): the triples are sorted by the permutation's components and each
+component is stored as a :class:`~repro.columnar.Column`.  Range scans on a
+prefix of the sort order are binary searches followed by sequential reads —
+the access path that exhaustive-indexing RDF stores rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..columnar import BufferPool, Column
+from ..errors import StorageError
+from ..model import EncodedTriple
+
+ORDERS = ("spo", "sop", "pso", "pos", "osp", "ops")
+"""The six permutations of subject, predicate, object."""
+
+_COMPONENT_INDEX = {"s": 0, "p": 1, "o": 2}
+
+
+class TripleTable:
+    """Encoded triples stored column-wise, sorted by a component order."""
+
+    def __init__(
+        self,
+        triples: Iterable[EncodedTriple] | np.ndarray,
+        order: str = "pso",
+        pool: Optional[BufferPool] = None,
+        name: str = "triples",
+    ) -> None:
+        if order not in ORDERS:
+            raise StorageError(f"unknown triple order {order!r}; expected one of {ORDERS}")
+        self.order = order
+        self.name = name
+        self.pool = pool
+        matrix = _as_matrix(triples)
+        matrix = _sort_matrix(matrix, order)
+        self._matrix = matrix
+        self._columns: Dict[str, Column] = {}
+        for component in "spo":
+            sorted_flag = order[0] == component
+            self._columns[component] = Column(
+                segment_id=f"{name}.{order}.{component}",
+                values=matrix[:, _COMPONENT_INDEX[component]],
+                sorted_ascending=sorted_flag,
+                pool=pool,
+            )
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    def column(self, component: str) -> Column:
+        """Return the column for component ``'s'``, ``'p'`` or ``'o'``."""
+        if component not in self._columns:
+            raise StorageError(f"unknown component {component!r}")
+        return self._columns[component]
+
+    def attach_pool(self, pool: Optional[BufferPool]) -> None:
+        """Attach a buffer pool to all three columns."""
+        self.pool = pool
+        for col in self._columns.values():
+            col.attach_pool(pool)
+
+    def raw(self) -> np.ndarray:
+        """Return the underlying ``(n, 3)`` S/P/O matrix (no accounting)."""
+        return self._matrix
+
+    def iter_triples(self) -> Iterable[EncodedTriple]:
+        """Iterate over encoded triples in table order (no accounting)."""
+        for s, p, o in self._matrix:
+            yield EncodedTriple(int(s), int(p), int(o))
+
+    def warm(self) -> None:
+        """Pre-load all pages of the table into the buffer pool."""
+        if self.pool is None:
+            return
+        for col in self._columns.values():
+            self.pool.warm(col.segment_id, len(col))
+
+    # -- access paths ---------------------------------------------------------
+
+    def _prefix_range(self, *values: int) -> Tuple[int, int]:
+        """Row range matching a prefix of the sort order (binary searches)."""
+        lo, hi = 0, len(self)
+        for depth, value in enumerate(values):
+            component = self.order[depth]
+            data = self._matrix[lo:hi, _COMPONENT_INDEX[component]]
+            lo_off = int(np.searchsorted(data, value, side="left"))
+            hi_off = int(np.searchsorted(data, value, side="right"))
+            lo, hi = lo + lo_off, lo + hi_off
+            if self.pool is not None:
+                self.pool.tracker.tuples_probed += 2
+            if lo >= hi:
+                return lo, lo
+        return lo, hi
+
+    def prefix_row_range(self, *values: int) -> Tuple[int, int]:
+        """Public wrapper over the prefix binary search (no page reads yet)."""
+        return self._prefix_range(*values)
+
+    def scan_prefix(self, *values: int, fetch: str = "spo") -> np.ndarray:
+        """Scan rows matching a prefix of the sort order.
+
+        ``fetch`` selects which components to materialize; the returned array
+        has one row per match and one column per requested component, in the
+        requested order.  Page accounting covers only the fetched columns
+        over the matched row range.
+        """
+        lo, hi = self._prefix_range(*values)
+        return self.fetch_rows(lo, hi, fetch=fetch)
+
+    def fetch_rows(self, lo: int, hi: int, fetch: str = "spo") -> np.ndarray:
+        """Materialize components for the positional row range ``[lo, hi)``."""
+        if hi <= lo:
+            return np.empty((0, len(fetch)), dtype=np.int64)
+        parts = []
+        for component in fetch:
+            parts.append(self._columns[component].slice(lo, hi))
+        return np.column_stack(parts)
+
+    def lookup(self, *values: int) -> int:
+        """Number of rows matching a full or partial prefix (point probe)."""
+        lo, hi = self._prefix_range(*values)
+        return hi - lo
+
+    def contains(self, triple: EncodedTriple) -> bool:
+        """Exact triple membership test (three binary searches)."""
+        ordered = triple.reordered(self.order)
+        lo, hi = self._prefix_range(*ordered)
+        return hi > lo
+
+    # -- statistics ----------------------------------------------------------
+
+    def predicate_counts(self) -> Dict[int, int]:
+        """Triple count per predicate OID (metadata op, no accounting)."""
+        pred = self._matrix[:, _COMPONENT_INDEX["p"]]
+        values, counts = np.unique(pred, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
+
+    def distinct_subjects(self) -> np.ndarray:
+        """Distinct subject OIDs (metadata op, no accounting)."""
+        return np.unique(self._matrix[:, _COMPONENT_INDEX["s"]])
+
+    def subject_property_sets(self) -> Dict[int, frozenset[int]]:
+        """Map each subject OID to the frozenset of its predicate OIDs.
+
+        This is the raw input of characteristic-set detection.
+        """
+        subj = self._matrix[:, _COMPONENT_INDEX["s"]]
+        pred = self._matrix[:, _COMPONENT_INDEX["p"]]
+        order = np.lexsort((pred, subj))
+        result: Dict[int, frozenset[int]] = {}
+        current_subject: Optional[int] = None
+        current_props: List[int] = []
+        for idx in order:
+            s = int(subj[idx])
+            p = int(pred[idx])
+            if s != current_subject:
+                if current_subject is not None:
+                    result[current_subject] = frozenset(current_props)
+                current_subject = s
+                current_props = [p]
+            else:
+                if not current_props or current_props[-1] != p:
+                    current_props.append(p)
+        if current_subject is not None:
+            result[current_subject] = frozenset(current_props)
+        return result
+
+    def subject_property_multiplicities(self) -> Dict[int, Dict[int, int]]:
+        """Map subject OID -> {predicate OID -> number of objects}."""
+        subj = self._matrix[:, _COMPONENT_INDEX["s"]]
+        pred = self._matrix[:, _COMPONENT_INDEX["p"]]
+        result: Dict[int, Dict[int, int]] = {}
+        for s, p in zip(subj, pred):
+            props = result.setdefault(int(s), {})
+            props[int(p)] = props.get(int(p), 0) + 1
+        return result
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _as_matrix(triples: Iterable[EncodedTriple] | np.ndarray) -> np.ndarray:
+    if isinstance(triples, np.ndarray):
+        matrix = np.asarray(triples, dtype=np.int64)
+        if matrix.ndim != 2 or matrix.shape[1] != 3:
+            raise StorageError("triple matrix must have shape (n, 3)")
+        return matrix.copy()
+    rows = [(t.s, t.p, t.o) for t in triples]
+    if not rows:
+        return np.empty((0, 3), dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def _sort_matrix(matrix: np.ndarray, order: str) -> np.ndarray:
+    if matrix.shape[0] == 0:
+        return matrix
+    # np.lexsort sorts by the *last* key first, so feed components reversed.
+    keys = tuple(matrix[:, _COMPONENT_INDEX[c]] for c in reversed(order))
+    permutation = np.lexsort(keys)
+    return matrix[permutation]
+
+
+def deduplicate_triples(triples: Sequence[EncodedTriple]) -> List[EncodedTriple]:
+    """Return triples with exact duplicates removed, preserving first-seen order."""
+    seen: set[Tuple[int, int, int]] = set()
+    unique: List[EncodedTriple] = []
+    for t in triples:
+        key = (t.s, t.p, t.o)
+        if key not in seen:
+            seen.add(key)
+            unique.append(t)
+    return unique

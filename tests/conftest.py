@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic datasets and pre-built stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RDFStore, StoreConfig
+from repro.bench import (
+    DblpConfig,
+    TpchConfig,
+    generate_dblp,
+    generate_tpch,
+    sub_order_keys,
+    tpch_to_triples,
+)
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.model import Graph, IRI, Literal, Triple
+from repro.model.terms import RDF_TYPE, XSD_DATE, XSD_INTEGER
+
+EX = "http://example.org/"
+
+
+def book_triples(books: int = 30, authors: int = 5, with_irregular: bool = True):
+    """A small, fully deterministic bibliographic graph used across tests."""
+    triples = []
+    type_pred = IRI(RDF_TYPE)
+    for i in range(authors):
+        author = IRI(f"{EX}author/{i}")
+        triples.append(Triple(author, type_pred, IRI(f"{EX}Person")))
+        triples.append(Triple(author, IRI(f"{EX}name"), Literal(f"Author {i}")))
+    for i in range(books):
+        book = IRI(f"{EX}book/{i}")
+        triples.append(Triple(book, type_pred, IRI(f"{EX}Book")))
+        triples.append(Triple(book, IRI(f"{EX}has_author"), IRI(f"{EX}author/{i % authors}")))
+        triples.append(Triple(book, IRI(f"{EX}in_year"),
+                              Literal(str(1990 + i % 15), datatype=XSD_INTEGER)))
+        triples.append(Triple(book, IRI(f"{EX}isbn_no"), Literal(f"isbn-{i:04d}")))
+    if with_irregular:
+        page = IRI(f"{EX}webpage/1")
+        triples.append(Triple(page, IRI(f"{EX}url"), Literal("index.php")))
+        triples.append(Triple(page, IRI(f"{EX}content"), Literal("content.php")))
+    return triples
+
+
+@pytest.fixture(scope="session")
+def book_graph():
+    return Graph(book_triples())
+
+
+@pytest.fixture(scope="session")
+def book_store():
+    """A clustered store over the bibliographic graph."""
+    config = StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+    return RDFStore.build(book_triples(), config=config)
+
+
+@pytest.fixture(scope="session")
+def dblp_store():
+    """A clustered store over the DBLP-like generator output."""
+    config = StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+    return RDFStore.build(generate_dblp(DblpConfig(papers=120, conferences=8, authors=40)),
+                          config=config)
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """A tiny deterministic TPC-H data set (same rows for every test)."""
+    return generate_tpch(TpchConfig(scale_factor=0.0004))
+
+
+@pytest.fixture(scope="session")
+def rdfh_store(tpch_tiny):
+    """A clustered RDF-H store at tiny scale, sub-ordered like the paper."""
+    triples = list(tpch_to_triples(tpch_tiny))
+    return RDFStore.build(triples, sort_key_names=sub_order_keys(), cluster=True)
+
+
+@pytest.fixture(scope="session")
+def rdfh_parseorder_store(tpch_tiny):
+    """The same RDF-H data without subject clustering (ParseOrder baseline)."""
+    triples = list(tpch_to_triples(tpch_tiny))
+    return RDFStore.build(triples, cluster=False)

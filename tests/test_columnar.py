@@ -1,0 +1,249 @@
+"""Tests for the columnar substrate: columns, buffer pool, zone maps, stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import (
+    BufferPool,
+    Column,
+    ColumnStats,
+    CostModel,
+    CostTracker,
+    EquiWidthHistogram,
+    NULL_OID,
+    PredicateCooccurrence,
+    QueryCost,
+    ZoneMap,
+)
+from repro.errors import StorageError
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(capacity_pages=10, page_size=4)
+        assert pool.access_value("col", 0) is False
+        assert pool.access_value("col", 1) is True  # same page
+        assert pool.tracker.page_reads == 1
+        assert pool.tracker.page_hits == 1
+
+    def test_access_range_touches_each_page_once(self):
+        pool = BufferPool(page_size=4)
+        misses = pool.access_range("col", 0, 10)
+        assert misses == 3
+        assert pool.access_range("col", 0, 10) == 0
+
+    def test_reset_cold_clears_cache(self):
+        pool = BufferPool(page_size=4)
+        pool.access_range("col", 0, 8)
+        pool.reset_cold()
+        assert pool.cached_page_count() == 0
+        assert pool.access_value("col", 0) is False
+
+    def test_warm_preloads(self):
+        pool = BufferPool(page_size=4)
+        pool.warm("col", 10)
+        assert pool.cached_page_count() == 3
+        assert pool.access_value("col", 9) is True
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity_pages=2, page_size=1)
+        pool.access_page("col", 0)
+        pool.access_page("col", 1)
+        pool.access_page("col", 2)  # evicts page 0
+        assert pool.contains("col", 0) is False
+        assert pool.contains("col", 2) is True
+
+    def test_pages_for(self):
+        pool = BufferPool(page_size=100)
+        assert pool.pages_for(0) == 0
+        assert pool.pages_for(1) == 1
+        assert pool.pages_for(100) == 1
+        assert pool.pages_for(101) == 2
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity_pages=0)
+        with pytest.raises(ValueError):
+            BufferPool(page_size=0)
+
+
+class TestColumn:
+    def test_sorted_validation(self):
+        with pytest.raises(StorageError):
+            Column("c", [3, 2, 1], sorted_ascending=True)
+
+    def test_get_and_slice(self):
+        col = Column("c", [10, 20, 30, 40])
+        assert col.get(2) == 30
+        assert list(col.slice(1, 3)) == [20, 30]
+        with pytest.raises(StorageError):
+            col.get(10)
+
+    def test_select_equal_sorted_uses_binary_search(self):
+        pool = BufferPool(page_size=2)
+        col = Column("c", [1, 1, 2, 3, 3, 3], sorted_ascending=True, pool=pool)
+        assert list(col.select_equal(3)) == [3, 4, 5]
+        # only the matching pages are touched, not the whole column
+        assert pool.tracker.page_reads <= 2
+
+    def test_select_equal_unsorted(self):
+        col = Column("c", [5, 1, 5, 2])
+        assert list(col.select_equal(5)) == [0, 2]
+
+    def test_select_range_sorted(self):
+        col = Column("c", [1, 2, 3, 4, 5], sorted_ascending=True)
+        assert list(col.select_range(2, 4)) == [1, 2, 3]
+        assert list(col.select_range(2, 4, low_inclusive=False, high_inclusive=False)) == [2]
+
+    def test_select_range_unsorted(self):
+        col = Column("c", [5, 1, 4, 2])
+        assert sorted(col.select_range(2, 4)) == [2, 3]
+        assert list(col.select_range(None, None)) == [0, 1, 2, 3]
+
+    def test_select_in(self):
+        col = Column("c", [5, 1, 4, 2])
+        assert sorted(col.select_in([1, 4, 99])) == [1, 2]
+        assert list(col.select_in([])) == []
+
+    def test_gather_accounts_pages(self):
+        pool = BufferPool(page_size=2)
+        col = Column("c", list(range(10)), pool=pool)
+        values = col.gather([0, 9, 1])
+        assert list(values) == [0, 9, 1]
+        assert pool.tracker.page_reads == 2  # pages 0 and 4
+        with pytest.raises(StorageError):
+            col.gather([42])
+
+    def test_null_handling(self):
+        col = Column("c", [1, NULL_OID, 3, NULL_OID])
+        assert col.null_count() == 2
+        assert list(col.not_null_positions()) == [0, 2]
+        assert col.min_max() == (1, 3)
+        assert col.distinct_count() == 2
+
+    def test_min_max_empty(self):
+        assert Column("c", []).min_max() is None
+
+
+class TestZoneMap:
+    def test_build_and_prune(self):
+        zone_map = ZoneMap.build(list(range(100)), zone_size=10)
+        assert len(zone_map) == 10
+        ranges = zone_map.candidate_row_ranges(25, 34)
+        assert ranges == [(20, 40)]
+        assert zone_map.candidate_row_count(25, 34) == 20
+
+    def test_adjacent_ranges_coalesce(self):
+        zone_map = ZoneMap.build(list(range(40)), zone_size=10)
+        assert zone_map.candidate_row_ranges(5, 25) == [(0, 30)]
+
+    def test_unbounded_predicate_keeps_everything(self):
+        zone_map = ZoneMap.build(list(range(40)), zone_size=10)
+        assert zone_map.selectivity(None, None) == 1.0
+
+    def test_no_match(self):
+        zone_map = ZoneMap.build([1, 2, 3, 4], zone_size=2)
+        assert zone_map.candidate_row_ranges(100, 200) == []
+        assert zone_map.selectivity(100, 200) == 0.0
+
+    def test_null_only_zone_never_matches(self):
+        zone_map = ZoneMap.build([NULL_OID, NULL_OID, 5, 6], zone_size=2)
+        assert zone_map.candidate_row_ranges(0, 100) == [(2, 4)]
+
+    def test_value_bounds_for_rows(self):
+        zone_map = ZoneMap.build([10, 20, 30, 40, 50, 60], zone_size=2)
+        assert zone_map.value_bounds_for_rows(2, 6) == (30, 60)
+        assert zone_map.value_bounds_for_rows(0, 1) == (10, 20)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+           st.integers(0, 1000), st.integers(0, 1000))
+    def test_pruning_is_sound_property(self, values, a, b):
+        """Zone-map pruning never discards a row that matches the predicate."""
+        low, high = min(a, b), max(a, b)
+        zone_map = ZoneMap.build(values, zone_size=16)
+        kept = set()
+        for start, stop in zone_map.candidate_row_ranges(low, high):
+            kept.update(range(start, stop))
+        matching = {i for i, v in enumerate(values) if low <= v <= high}
+        assert matching <= kept
+
+
+class TestCost:
+    def test_tracker_snapshot_and_diff(self):
+        tracker = CostTracker()
+        tracker.page_reads += 3
+        base = tracker.snapshot()
+        tracker.page_reads += 2
+        tracker.tuples_scanned += 10
+        diff = tracker.diff(base)
+        assert diff["page_reads"] == 2
+        assert diff["tuples_scanned"] == 10
+
+    def test_tracker_merge_and_reset(self):
+        a, b = CostTracker(), CostTracker()
+        b.page_hits = 5
+        a.merge(b)
+        assert a.page_hits == 5
+        a.reset()
+        assert a.page_hits == 0
+
+    def test_cost_model_weights_reads_heavier_than_hits(self):
+        model = CostModel()
+        cold = model.simulated_seconds({"page_reads": 10, "page_hits": 0})
+        hot = model.simulated_seconds({"page_reads": 0, "page_hits": 10})
+        assert cold > hot * 10
+
+    def test_query_cost_describe(self):
+        cost = QueryCost(wall_seconds=0.001, counters={"page_reads": 1}, simulated_seconds=0.0002)
+        assert "reads=1" in cost.describe()
+
+
+class TestStats:
+    def test_column_stats(self):
+        stats = ColumnStats.from_values([1, 2, 2, NULL_OID, 5])
+        assert stats.row_count == 5
+        assert stats.null_count == 1
+        assert stats.distinct_count == 3
+        assert stats.min_value == 1 and stats.max_value == 5
+        assert stats.not_null_fraction() == pytest.approx(0.8)
+        assert 0 < stats.estimate_equality_selectivity() <= 1
+        assert stats.estimate_range_selectivity(1, 5) == pytest.approx(0.8)
+
+    def test_column_stats_empty(self):
+        stats = ColumnStats.from_values([])
+        assert stats.distinct_count == 0
+        assert stats.estimate_equality_selectivity() == 0.0
+
+    def test_histogram_estimates(self):
+        hist = EquiWidthHistogram(list(range(1000)), bucket_count=10)
+        estimate = hist.estimate_range_count(0, 499)
+        assert estimate == pytest.approx(500, rel=0.05)
+        assert hist.estimate_range_selectivity(0, 999) == pytest.approx(1.0, rel=0.01)
+        assert hist.estimate_range_count(5000, 6000) == 0.0
+
+    def test_histogram_empty(self):
+        hist = EquiWidthHistogram([])
+        assert hist.estimate_range_selectivity(0, 10) == 0.0
+
+    def test_cooccurrence_conditional(self):
+        sets = {
+            1: frozenset({10, 11}),
+            2: frozenset({10, 11}),
+            3: frozenset({10}),
+        }
+        stats = PredicateCooccurrence.from_subject_property_sets(sets)
+        assert stats.support[10] == 3
+        assert stats.joint_count(10, 11) == 2
+        assert stats.conditional(10, 11) == pytest.approx(2 / 3)
+        assert stats.conditional(11, 10) == pytest.approx(1.0)
+
+    def test_cooccurrence_star_cardinality(self):
+        sets = {i: frozenset({1, 2}) for i in range(10)}
+        sets.update({100 + i: frozenset({1}) for i in range(10)})
+        stats = PredicateCooccurrence.from_subject_property_sets(sets)
+        # all subjects with 2 also have 1 -> the star {1,2} has exactly 10 answers
+        assert stats.star_cardinality([1, 2]) == pytest.approx(10.0)
+        assert stats.star_cardinality([1, 2, 999]) == 0.0
+        assert stats.star_cardinality([]) == len(sets)

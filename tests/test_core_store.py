@@ -1,0 +1,154 @@
+"""End-to-end tests of the RDFStore facade."""
+
+import pytest
+
+from repro import PlannerOptions, RDFStore, StoreConfig
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.errors import StorageError
+from repro.model import IRI, Literal, Triple
+from repro.model.terms import XSD_INTEGER
+
+EX = "http://example.org/"
+
+NT_SAMPLE = "\n".join(
+    [f'<{EX}b{i}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <{EX}Book> .\n'
+     f'<{EX}b{i}> <{EX}year> "{1990 + i}"^^<{XSD_INTEGER}> .\n'
+     f'<{EX}b{i}> <{EX}title> "Book {i}" .' for i in range(12)]
+)
+
+
+class TestBuildPipeline:
+    def test_build_from_ntriples_text(self):
+        store = RDFStore.build(NT_SAMPLE)
+        assert store.triple_count() == 36
+        assert store.is_clustered
+        assert store.schema is not None
+        assert store.clustered_store is not None
+
+    def test_build_without_clustering(self):
+        store = RDFStore.build(NT_SAMPLE, cluster=False)
+        assert not store.is_clustered
+        assert store.clustered_store is None
+        assert store.index_store is not None
+
+    def test_staged_pipeline(self):
+        store = RDFStore()
+        assert store.load(NT_SAMPLE) == 36
+        with pytest.raises(StorageError):
+            store.require_schema()
+        store.discover_schema()
+        plan = store.cluster()
+        assert plan is not None
+        assert store.sparql(f"SELECT ?t WHERE {{ ?b <{EX}title> ?t . }}").bindings.num_rows == 12
+
+    def test_discover_before_load_raises(self):
+        with pytest.raises(StorageError):
+            RDFStore().discover_schema()
+
+    def test_duplicate_triples_dropped(self):
+        triples = [Triple(IRI(EX + "s"), IRI(EX + "p"), Literal("x"))] * 3
+        store = RDFStore()
+        assert store.load(triples) == 1
+
+    def test_sort_key_names_resolution(self):
+        store = RDFStore()
+        store.load(NT_SAMPLE)
+        store.discover_schema(DiscoveryConfig(generalization=GeneralizationConfig(min_support=3)))
+        plan = store.cluster(sort_key_names={"Book": f"{EX}year"})
+        year_oid = store.dictionary.lookup_term(IRI(EX + "year"))
+        assert year_oid in plan.sort_keys.values()
+        block = store.clustered_store.blocks[0]
+        assert year_oid in block.sorted_properties
+
+
+class TestStoreBehaviour:
+    def test_storage_summary_keys(self, book_store):
+        summary = book_store.storage_summary()
+        assert summary["clustered"] is True
+        assert summary["tables"] >= 2
+        assert 0.9 <= summary["triple_coverage"] <= 1.0
+        assert "regular_fraction" in summary
+
+    def test_schema_summary_lines(self, book_store):
+        lines = book_store.schema_summary()
+        assert any("Book" in line for line in lines)
+        assert any("coverage" in line for line in lines)
+
+    def test_cold_and_warm_control(self, book_store):
+        book_store.reset_cold()
+        assert book_store.pool.cached_page_count() == 0
+        book_store.warm()
+        assert book_store.pool.cached_page_count() > 0
+
+    def test_cold_hot_costs_differ(self, book_store):
+        query = f"PREFIX ex: <{EX}> SELECT ?n WHERE {{ ?b ex:isbn_no ?n . ?b ex:in_year ?y . }}"
+        book_store.reset_cold()
+        cold = book_store.sparql(query).cost
+        book_store.warm()
+        hot = book_store.sparql(query).cost
+        assert cold.counters["page_reads"] > hot.counters["page_reads"]
+        assert cold.simulated_seconds > hot.simulated_seconds
+
+    def test_decode_rows(self, book_store):
+        result = book_store.sparql(
+            f"PREFIX ex: <{EX}> SELECT ?n WHERE {{ <{EX}book/1> ex:isbn_no ?n . }}")
+        assert book_store.decode_rows(result) == [("isbn-0001",)]
+
+    def test_config_disables_zone_maps(self):
+        config = StoreConfig(build_zone_maps=False)
+        store = RDFStore.build(NT_SAMPLE, config=config)
+        assert all(not block.zone_maps for block in store.clustered_store.blocks)
+
+    def test_dblp_store_fixture_summary(self, dblp_store):
+        summary = dblp_store.storage_summary()
+        assert summary["foreign_keys"] >= 2
+        assert summary["triple_coverage"] > 0.85
+
+
+class TestRdfhStore:
+    def test_schema_has_three_tables(self, rdfh_store):
+        labels = {t.label for t in rdfh_store.require_schema().tables.values()}
+        assert {"Customer", "Order", "Lineitem"} <= labels
+
+    def test_foreign_keys_follow_tpch(self, rdfh_store):
+        schema = rdfh_store.require_schema()
+        by_label = {t.label: cs_id for cs_id, t in schema.tables.items()}
+        fk_pairs = {(fk.source_cs, fk.target_cs) for fk in schema.foreign_keys}
+        assert (by_label["Lineitem"], by_label["Order"]) in fk_pairs
+        assert (by_label["Order"], by_label["Customer"]) in fk_pairs
+
+    def test_sub_ordering_applied(self, rdfh_store):
+        from repro.bench.rdfh import P_L_SHIPDATE, P_O_ORDERDATE
+        schema = rdfh_store.require_schema()
+        store = rdfh_store.clustered_store
+        shipdate = rdfh_store.dictionary.lookup_term(IRI(P_L_SHIPDATE))
+        orderdate = rdfh_store.dictionary.lookup_term(IRI(P_O_ORDERDATE))
+        lineitem_block = next(b for b in store.blocks if b.has_property(shipdate))
+        order_block = next(b for b in store.blocks if b.has_property(orderdate))
+        assert shipdate in lineitem_block.sorted_properties
+        assert orderdate in order_block.sorted_properties
+
+    def test_q6_matches_reference(self, rdfh_store, tpch_tiny):
+        from repro.bench import iter_reference_q6, q6_sparql
+        for scheme in ("default", "rdfscan"):
+            for zone_maps in (False, True):
+                result = rdfh_store.sparql(q6_sparql(), PlannerOptions(scheme=scheme,
+                                                                       use_zone_maps=zone_maps))
+                assert result.bindings.column("revenue")[0] == pytest.approx(
+                    iter_reference_q6(tpch_tiny), rel=1e-9)
+
+    def test_q3_matches_reference(self, rdfh_store, tpch_tiny):
+        from repro.bench import iter_reference_q3, q3_sparql
+        reference = iter_reference_q3(tpch_tiny)
+        for scheme in ("default", "rdfscan"):
+            result = rdfh_store.sparql(q3_sparql(), PlannerOptions(scheme=scheme, use_zone_maps=True))
+            rows = rdfh_store.decode_rows(result)
+            assert len(rows) == min(10, len(reference))
+            if reference:
+                assert rows[0][3] == pytest.approx(reference[0][1], rel=1e-9)
+                assert rows[0][1] == reference[0][2]
+
+    def test_q1_runs(self, rdfh_store):
+        from repro.bench import q1_sparql
+        result = rdfh_store.sparql(q1_sparql())
+        assert 1 <= len(result) <= 6  # at most |returnflag| x |linestatus| groups

@@ -1,0 +1,316 @@
+"""Tests for binding tables, expressions and the classical physical operators."""
+
+import numpy as np
+import pytest
+
+from repro.columnar import BufferPool
+from repro.engine import (
+    AggregateOp,
+    AggregateSpec,
+    BinaryOp,
+    BindingTable,
+    ExecutionContext,
+    ExtendOp,
+    FilterEqualOp,
+    FilterRangeOp,
+    HashJoinOp,
+    IndexScanOp,
+    LimitOp,
+    MaterializedOp,
+    NestedLoopIndexJoinOp,
+    NumericConst,
+    NumericVar,
+    OidRange,
+    OrderByOp,
+    PatternTerm,
+    ProjectOp,
+    TriplePatternPlan,
+    cross_join,
+    execute_plan,
+    hash_join,
+)
+from repro.engine.operators import DistinctOp, FilterNotEqualOp
+from repro.errors import ExecutionError
+from repro.model import IRI, Literal, TermDictionary
+from repro.model.terms import XSD_INTEGER
+from repro.storage import ExhaustiveIndexStore
+
+EX = "http://example.org/"
+
+
+class TestBindingTable:
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ExecutionError):
+            BindingTable({"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_basic_accessors(self):
+        t = BindingTable({"a": np.array([1, 2, 3])})
+        assert t.num_rows == 3
+        assert t.variables == ["a"]
+        assert t.has("a") and not t.has("b")
+        with pytest.raises(ExecutionError):
+            t.column("missing")
+
+    def test_with_column_and_project(self):
+        t = BindingTable({"a": np.array([1, 2])})
+        t2 = t.with_column("b", np.array([3, 4]))
+        assert t2.project(["b"]).variables == ["b"]
+        with pytest.raises(ExecutionError):
+            t.with_column("c", np.array([1, 2, 3]))
+
+    def test_filter_and_select(self):
+        t = BindingTable({"a": np.array([1, 2, 3, 4])})
+        assert t.filter_mask(t.column("a") > 2).num_rows == 2
+        assert t.select_rows(np.array([0, 3])).column("a").tolist() == [1, 4]
+
+    def test_concat_requires_same_vars(self):
+        t1 = BindingTable({"a": np.array([1])})
+        t2 = BindingTable({"b": np.array([2])})
+        with pytest.raises(ExecutionError):
+            t1.concat(t2)
+        merged = t1.concat(BindingTable({"a": np.array([5])}))
+        assert merged.column("a").tolist() == [1, 5]
+
+    def test_distinct(self):
+        t = BindingTable({"a": np.array([1, 1, 2]), "b": np.array([7, 7, 8])})
+        assert t.distinct().num_rows == 2
+
+    def test_sort_and_head(self):
+        t = BindingTable({"a": np.array([3, 1, 2]), "b": np.array([10, 30, 20])})
+        ordered = t.sort_by([("a", False)])
+        assert ordered.column("a").tolist() == [1, 2, 3]
+        descending = t.sort_by([("b", True)])
+        assert descending.column("b").tolist() == [30, 20, 10]
+        assert t.head(2).num_rows == 2
+
+    def test_sort_multiple_keys(self):
+        t = BindingTable({"a": np.array([1, 1, 0]), "b": np.array([5, 3, 9])})
+        ordered = t.sort_by([("a", False), ("b", False)])
+        assert list(zip(ordered.column("a").tolist(), ordered.column("b").tolist())) == \
+            [(0, 9), (1, 3), (1, 5)]
+
+    def test_iter_rows_and_to_set(self):
+        t = BindingTable({"a": np.array([1, 2])})
+        assert list(t.iter_rows()) == [{"a": 1}, {"a": 2}]
+        assert t.to_set() == {(1,), (2,)}
+
+    def test_rename(self):
+        t = BindingTable({"a": np.array([1])})
+        assert t.rename({"a": "x"}).variables == ["x"]
+
+
+class TestJoins:
+    def test_cross_join(self):
+        left = BindingTable({"a": np.array([1, 2])})
+        right = BindingTable({"b": np.array([10, 20, 30])})
+        assert cross_join(left, right).num_rows == 6
+        with pytest.raises(ExecutionError):
+            cross_join(left, BindingTable({"a": np.array([1])}))
+
+    def test_hash_join_basic(self):
+        left = BindingTable({"s": np.array([1, 2, 3]), "x": np.array([10, 20, 30])})
+        right = BindingTable({"s": np.array([2, 3, 4]), "y": np.array([200, 300, 400])})
+        joined = hash_join(left, right, ["s"])
+        assert joined.to_set(["s", "x", "y"]) == {(2, 20, 200), (3, 30, 300)}
+
+    def test_hash_join_duplicates(self):
+        left = BindingTable({"s": np.array([1, 1])})
+        right = BindingTable({"s": np.array([1, 1, 1])})
+        assert hash_join(left, right, ["s"]).num_rows == 6
+
+    def test_hash_join_no_keys_is_cross(self):
+        left = BindingTable({"a": np.array([1])})
+        right = BindingTable({"b": np.array([2, 3])})
+        assert hash_join(left, right, []).num_rows == 2
+
+
+class TestExpressions:
+    def test_numeric_var_decodes_oids(self):
+        dictionary = TermDictionary()
+        oid = dictionary.encode_term(Literal("5", datatype=XSD_INTEGER))
+        pool = BufferPool()
+        ctx = ExecutionContext(dictionary=dictionary, pool=pool)
+        table = BindingTable({"x": np.array([oid])})
+        values = NumericVar("x").evaluate(table, ctx.decoder)
+        assert values.tolist() == [5.0]
+
+    def test_binary_op_and_const(self):
+        dictionary = TermDictionary()
+        pool = BufferPool()
+        ctx = ExecutionContext(dictionary=dictionary, pool=pool)
+        table = BindingTable({"x": np.array([2.0, 3.0])})
+        expr = BinaryOp("*", NumericVar("x"), NumericConst(10.0))
+        assert expr.evaluate(table, ctx.decoder).tolist() == [20.0, 30.0]
+        assert expr.variables() == {"x"}
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ExecutionError):
+            BinaryOp("%", NumericConst(1), NumericConst(2))
+
+    def test_aggregate_spec_functions(self):
+        values = np.array([1.0, 2.0, 3.0, float("nan")])
+        assert AggregateSpec("sum", NumericConst(0), "x").compute(values) == pytest.approx(6.0)
+        assert AggregateSpec("count", NumericConst(0), "x").compute(values) == 4
+        assert AggregateSpec("avg", NumericConst(0), "x").compute(values) == pytest.approx(2.0)
+        assert AggregateSpec("min", NumericConst(0), "x").compute(values) == 1.0
+        assert AggregateSpec("max", NumericConst(0), "x").compute(values) == 3.0
+        with pytest.raises(ExecutionError):
+            AggregateSpec("median", NumericConst(0), "x")
+
+
+def _context():
+    """Tiny encoded data set + execution context over the exhaustive store."""
+    dictionary = TermDictionary()
+    rows = []
+    p_name = dictionary.encode_term(IRI(EX + "name"))
+    p_age = dictionary.encode_term(IRI(EX + "age"))
+    ages = {}
+    for i in range(6):
+        s = dictionary.encode_term(IRI(f"{EX}person/{i}"))
+        name = dictionary.encode_term(Literal(f"name{i}"))
+        age = dictionary.encode_term(Literal(str(20 + i), datatype=XSD_INTEGER))
+        ages[s] = age
+        rows.append((s, p_name, name))
+        rows.append((s, p_age, age))
+    matrix = np.asarray(rows, dtype=np.int64)
+    pool = BufferPool(page_size=4)
+    store = ExhaustiveIndexStore(matrix, pool=pool)
+    ctx = ExecutionContext(dictionary=dictionary, pool=pool, index_store=store)
+    return ctx, p_name, p_age, ages
+
+
+class TestOperators:
+    def test_index_scan_binds_variables(self):
+        ctx, p_name, _p_age, _ages = _context()
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")))
+        result, cost = execute_plan(scan, ctx)
+        assert result.num_rows == 6
+        assert set(result.variables) == {"s", "n"}
+        assert cost.counters["operator_invocations"] == 1
+
+    def test_index_scan_object_range(self):
+        ctx, _p_name, p_age, ages = _context()
+        age_oids = sorted(ages.values())
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_age),
+                                             PatternTerm.variable("a")),
+                           object_range=OidRange(age_oids[1], age_oids[3]))
+        result, _ = execute_plan(scan, ctx)
+        assert result.num_rows == 3
+
+    def test_nested_loop_index_join(self):
+        ctx, p_name, p_age, _ages = _context()
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")))
+        join = NestedLoopIndexJoinOp(scan, TriplePatternPlan(PatternTerm.variable("s"),
+                                                             PatternTerm.constant(p_age),
+                                                             PatternTerm.variable("a")))
+        result, cost = execute_plan(join, ctx)
+        assert result.num_rows == 6
+        assert set(result.variables) == {"s", "n", "a"}
+        assert cost.counters["join_operations"] == 1
+        assert join.count_joins() == 1
+
+    def test_nested_loop_join_requires_variable_subject(self):
+        ctx, p_name, _p_age, _ages = _context()
+        child = MaterializedOp(BindingTable({"s": np.array([0])}))
+        with pytest.raises(ExecutionError):
+            NestedLoopIndexJoinOp(child, TriplePatternPlan(PatternTerm.constant(0),
+                                                           PatternTerm.constant(p_name),
+                                                           PatternTerm.variable("n")))
+
+    def test_filters(self):
+        ctx, _p_name, p_age, ages = _context()
+        child = MaterializedOp(BindingTable({"a": np.array(sorted(ages.values()))}))
+        low, high = sorted(ages.values())[1], sorted(ages.values())[4]
+        ranged, _ = execute_plan(FilterRangeOp(child, "a", OidRange(low, high)), ctx)
+        assert ranged.num_rows == 4
+        equal, _ = execute_plan(FilterEqualOp(child, "a", low), ctx)
+        assert equal.num_rows == 1
+        not_equal, _ = execute_plan(FilterNotEqualOp(child, "a", low), ctx)
+        assert not_equal.num_rows == 5
+
+    def test_project_distinct_order_limit(self):
+        ctx, _p, _q, _ages = _context()
+        table = BindingTable({"a": np.array([3, 1, 1]), "b": np.array([30, 10, 10])})
+        child = MaterializedOp(table)
+        projected, _ = execute_plan(ProjectOp(child, ["a"]), ctx)
+        assert projected.variables == ["a"]
+        distinct, _ = execute_plan(DistinctOp(ProjectOp(child, ["a"])), ctx)
+        assert distinct.num_rows == 2
+        ordered, _ = execute_plan(OrderByOp(child, [("a", True)]), ctx)
+        assert ordered.column("a").tolist() == [3, 1, 1]
+        limited, _ = execute_plan(LimitOp(child, 2), ctx)
+        assert limited.num_rows == 2
+
+    def test_extend_and_aggregate(self):
+        ctx, _p, _q, _ages = _context()
+        table = BindingTable({"g": np.array([1, 1, 2]), "x": np.array([1.0, 2.0, 5.0])})
+        child = ExtendOp(MaterializedOp(table), "double", BinaryOp("*", NumericVar("x"), NumericConst(2)))
+        extended, _ = execute_plan(child, ctx)
+        assert extended.column("double").tolist() == [2.0, 4.0, 10.0]
+        agg = AggregateOp(MaterializedOp(table), ["g"],
+                          [AggregateSpec("sum", NumericVar("x"), "total"),
+                           AggregateSpec("count", NumericVar("x"), "n")])
+        result, _ = execute_plan(agg, ctx)
+        rows = {int(g): (t, n) for g, t, n in zip(result.column("g"), result.column("total"),
+                                                  result.column("n"))}
+        assert rows[1] == (3.0, 2.0)
+        assert rows[2] == (5.0, 1.0)
+
+    def test_aggregate_without_groups(self):
+        ctx, _p, _q, _ages = _context()
+        table = BindingTable({"x": np.array([1.0, 2.0])})
+        agg = AggregateOp(MaterializedOp(table), [], [AggregateSpec("sum", NumericVar("x"), "total")])
+        result, _ = execute_plan(agg, ctx)
+        assert result.column("total").tolist() == [3.0]
+
+    def test_hash_join_operator_auto_vars(self):
+        ctx, _p, _q, _ages = _context()
+        left = MaterializedOp(BindingTable({"s": np.array([1, 2]), "x": np.array([5, 6])}))
+        right = MaterializedOp(BindingTable({"s": np.array([2, 3]), "y": np.array([7, 8])}))
+        result, _ = execute_plan(HashJoinOp(left, right), ctx)
+        assert result.to_set(["s", "x", "y"]) == {(2, 6, 7)}
+
+    def test_explain_tree(self):
+        ctx, p_name, p_age, _ages = _context()
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")))
+        join = NestedLoopIndexJoinOp(scan, TriplePatternPlan(PatternTerm.variable("s"),
+                                                             PatternTerm.constant(p_age),
+                                                             PatternTerm.variable("a")))
+        text = join.explain()
+        assert "NestedLoopIndexJoin" in text and "IndexScan" in text
+        assert join.count_operators() == 2
+        assert join.operator_names()["IndexScanOp"] == 1
+
+
+class TestPlanPrimitives:
+    def test_pattern_term_validation(self):
+        with pytest.raises(Exception):
+            PatternTerm()
+        with pytest.raises(Exception):
+            PatternTerm(var="x", oid=1)
+
+    def test_oid_range_intersect_and_contains(self):
+        a = OidRange(1, 10)
+        b = OidRange(5, None)
+        c = a.intersect(b)
+        assert (c.low, c.high) == (5, 10)
+        assert c.contains(7) and not c.contains(11)
+        assert OidRange().is_unbounded()
+
+    def test_cold_vs_hot_cost(self):
+        ctx, p_name, _p_age, _ages = _context()
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")))
+        _result, cold = execute_plan(scan, ctx)
+        _result, hot = execute_plan(scan, ctx)
+        assert cold.counters["page_reads"] > 0
+        assert hot.counters["page_reads"] == 0
+        assert hot.simulated_seconds < cold.simulated_seconds

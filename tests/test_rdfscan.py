@@ -1,0 +1,301 @@
+"""Tests for RDFscan / RDFjoin and their equivalence with the Default plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RDFStore, StoreConfig
+from repro.columnar import BufferPool
+from repro.cs import DiscoveryConfig, GeneralizationConfig, discover_schema
+from repro.engine import (
+    ExecutionContext,
+    IndexScanOp,
+    MaterializedOp,
+    NestedLoopIndexJoinOp,
+    OidRange,
+    PatternTerm,
+    RDFJoinOp,
+    RDFScanOp,
+    StarPattern,
+    StarProperty,
+    TriplePatternPlan,
+    execute_plan,
+    fk_range_from_zonemap,
+    subject_range_for_property_range,
+)
+from repro.engine.bindings import BindingTable
+from repro.model import IRI, Literal, TermDictionary, Triple
+from repro.model.terms import XSD_INTEGER
+from repro.storage import (
+    ClusteredStore,
+    ExhaustiveIndexStore,
+    cluster_subjects,
+    encode_graph,
+    value_order_literals,
+)
+
+EX = "http://example.org/"
+
+
+def _library_context(with_dirty: bool = True, zone_size: int = 8):
+    """Book/author graph with optional dirty bits, fully materialized context."""
+    triples = []
+    for i in range(40):
+        book = IRI(f"{EX}book/{i}")
+        triples.append(Triple(book, IRI(EX + "type"), IRI(EX + "Book")))
+        triples.append(Triple(book, IRI(EX + "has_author"), IRI(f"{EX}author/{i % 6}")))
+        triples.append(Triple(book, IRI(EX + "in_year"),
+                              Literal(str(1990 + i % 12), datatype=XSD_INTEGER)))
+        triples.append(Triple(book, IRI(EX + "isbn_no"), Literal(f"isbn-{i:03d}")))
+    for i in range(6):
+        author = IRI(f"{EX}author/{i}")
+        triples.append(Triple(author, IRI(EX + "type"), IRI(EX + "Person")))
+        triples.append(Triple(author, IRI(EX + "name"), Literal(f"Author {i}")))
+    if with_dirty:
+        # a second author for one book (spills to the irregular store)
+        triples.append(Triple(IRI(f"{EX}book/0"), IRI(EX + "has_author"), IRI(f"{EX}author/5")))
+        # a subject outside every CS
+        triples.append(Triple(IRI(f"{EX}thing"), IRI(EX + "has_author"), IRI(f"{EX}author/1")))
+        triples.append(Triple(IRI(f"{EX}thing"), IRI(EX + "in_year"),
+                              Literal("2001", datatype=XSD_INTEGER)))
+        triples.append(Triple(IRI(f"{EX}thing"), IRI(EX + "isbn_no"), Literal("isbn-x")))
+
+    dictionary, matrix = encode_graph(triples)
+    matrix = value_order_literals(matrix, dictionary)
+    schema = discover_schema(matrix, dictionary,
+                             DiscoveryConfig(generalization=GeneralizationConfig(min_support=3)))
+    year_oid = dictionary.lookup_term(IRI(EX + "in_year"))
+    book_cs = next((cs_id for cs_id, t in schema.tables.items() if t.has_property(year_oid)), None)
+    sort_keys = {book_cs: year_oid} if book_cs is not None else None
+    matrix, _plan = cluster_subjects(matrix, dictionary, schema, sort_keys)
+    pool = BufferPool(page_size=8)
+    index_store = ExhaustiveIndexStore(matrix, pool=pool)
+    zone_props = {cs_id: list(t.properties) for cs_id, t in schema.tables.items()}
+    clustered = ClusteredStore.build(matrix, schema, pool=pool,
+                                     zone_map_properties=zone_props, zone_size=zone_size)
+    ctx = ExecutionContext(dictionary=dictionary, pool=pool, index_store=index_store,
+                           clustered_store=clustered, schema=schema)
+    return ctx
+
+
+def _predicate(ctx, name):
+    return ctx.dictionary.lookup_term(IRI(EX + name))
+
+
+def _star(ctx, year_range=None):
+    props = [
+        StarProperty(_predicate(ctx, "has_author"), PatternTerm.variable("a")),
+        StarProperty(_predicate(ctx, "in_year"), PatternTerm.variable("y"), oid_range=year_range),
+        StarProperty(_predicate(ctx, "isbn_no"), PatternTerm.variable("n")),
+    ]
+    return StarPattern(subject_var="b", properties=props)
+
+
+def _default_plan(ctx, year_range=None):
+    patterns = [
+        TriplePatternPlan(PatternTerm.variable("b"), PatternTerm.constant(_predicate(ctx, "has_author")),
+                          PatternTerm.variable("a")),
+        TriplePatternPlan(PatternTerm.variable("b"), PatternTerm.constant(_predicate(ctx, "in_year")),
+                          PatternTerm.variable("y")),
+        TriplePatternPlan(PatternTerm.variable("b"), PatternTerm.constant(_predicate(ctx, "isbn_no")),
+                          PatternTerm.variable("n")),
+    ]
+    root = IndexScanOp(patterns[0])
+    root = NestedLoopIndexJoinOp(root, patterns[1], object_range=year_range)
+    root = NestedLoopIndexJoinOp(root, patterns[2])
+    return root
+
+
+class TestRDFScanEquivalence:
+    def test_full_star_matches_default_plan(self):
+        ctx = _library_context()
+        default_result, _ = execute_plan(_default_plan(ctx), ctx)
+        rdfscan_result, _ = execute_plan(RDFScanOp(_star(ctx)), ctx)
+        assert rdfscan_result.to_set(["b", "a", "y", "n"]) == default_result.to_set(["b", "a", "y", "n"])
+
+    def test_index_path_matches_clustered_path(self):
+        ctx = _library_context()
+        clustered_result, _ = execute_plan(RDFScanOp(_star(ctx)), ctx)
+        index_result, _ = execute_plan(RDFScanOp(_star(ctx), force_index_path=True), ctx)
+        assert clustered_result.to_set(["b", "a", "y", "n"]) == index_result.to_set(["b", "a", "y", "n"])
+
+    def test_range_constraint_consistency(self):
+        ctx = _library_context()
+        low = ctx.encoder.literal_range_to_oids(Literal("1994", datatype=XSD_INTEGER),
+                                                Literal("1998", datatype=XSD_INTEGER))
+        year_range = OidRange(low[0], low[1])
+        default_result, _ = execute_plan(_default_plan(ctx, year_range), ctx)
+        for use_zm in (False, True):
+            scan_result, _ = execute_plan(RDFScanOp(_star(ctx, year_range), use_zone_maps=use_zm), ctx)
+            assert scan_result.to_set(["b", "a", "y", "n"]) == default_result.to_set(["b", "a", "y", "n"])
+
+    def test_constant_object_constraint(self):
+        ctx = _library_context()
+        author_oid = ctx.dictionary.lookup_term(IRI(f"{EX}author/2"))
+        star = StarPattern(subject_var="b", properties=[
+            StarProperty(_predicate(ctx, "has_author"), PatternTerm.constant(author_oid)),
+            StarProperty(_predicate(ctx, "isbn_no"), PatternTerm.variable("n")),
+        ])
+        result, _ = execute_plan(RDFScanOp(star), ctx)
+        # author/2 wrote books 2, 8, 14, ... (i % 6 == 2) -> 7 of 40 books
+        assert result.num_rows == 7
+
+    def test_multi_valued_and_irregular_subjects_are_answered(self):
+        ctx = _library_context(with_dirty=True)
+        star = _star(ctx)
+        result, _ = execute_plan(RDFScanOp(star), ctx)
+        decoded_subjects = {ctx.decoder.python_value(int(v)) for v in result.column("b")}
+        assert f"{EX}thing" in decoded_subjects
+        # book/0 has two authors: both bindings must be present
+        book0 = ctx.dictionary.lookup_term(IRI(f"{EX}book/0"))
+        book0_rows = [row for row in result.iter_rows() if row["b"] == book0]
+        assert len(book0_rows) == 2
+
+    def test_zone_maps_reduce_page_reads(self):
+        ctx = _library_context(with_dirty=False, zone_size=4)
+        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
+                                                   Literal("1991", datatype=XSD_INTEGER))
+        year_range = OidRange(bounds[0], bounds[1])
+        star_plain = _star(ctx, year_range)
+        star_zoned = _star(ctx, year_range)
+        ctx.pool.reset_cold()
+        _res, cost_plain = execute_plan(RDFScanOp(star_plain), ctx)
+        ctx.pool.reset_cold()
+        _res, cost_zoned = execute_plan(RDFScanOp(star_zoned, use_zone_maps=True), ctx)
+        assert cost_zoned.counters["tuples_scanned"] <= cost_plain.counters["tuples_scanned"]
+
+    def test_empty_result_for_impossible_range(self):
+        ctx = _library_context()
+        star = _star(ctx, OidRange(low=1, high=0))
+        result, _ = execute_plan(RDFScanOp(star), ctx)
+        assert result.num_rows == 0
+
+
+class TestRDFJoin:
+    def test_candidate_subjects_restrict_result(self):
+        ctx = _library_context(with_dirty=False)
+        all_books, _ = execute_plan(RDFScanOp(_star(ctx)), ctx)
+        some_subjects = np.asarray(sorted(set(all_books.column("b").tolist()))[:5], dtype=np.int64)
+        child = MaterializedOp(BindingTable({"b": some_subjects}))
+        join = RDFJoinOp(child, _star(ctx))
+        result, cost = execute_plan(join, ctx)
+        assert set(result.column("b").tolist()) == set(some_subjects.tolist())
+        assert cost.counters["join_operations"] >= 1
+
+    def test_join_preserves_child_columns(self):
+        ctx = _library_context(with_dirty=False)
+        all_books, _ = execute_plan(RDFScanOp(_star(ctx)), ctx)
+        subjects = np.asarray(sorted(set(all_books.column("b").tolist()))[:3], dtype=np.int64)
+        child = MaterializedOp(BindingTable({"b": subjects, "extra": np.arange(3)}))
+        result, _ = execute_plan(RDFJoinOp(child, _star(ctx)), ctx)
+        assert "extra" in result.variables
+
+    def test_index_path_join_matches_clustered(self):
+        ctx = _library_context(with_dirty=False)
+        all_books, _ = execute_plan(RDFScanOp(_star(ctx)), ctx)
+        subjects = np.asarray(sorted(set(all_books.column("b").tolist()))[:7], dtype=np.int64)
+        child = MaterializedOp(BindingTable({"b": subjects}))
+        clustered, _ = execute_plan(RDFJoinOp(child, _star(ctx)), ctx)
+        via_index, _ = execute_plan(RDFJoinOp(child, _star(ctx), force_index_path=True), ctx)
+        assert clustered.to_set(["b", "a", "y", "n"]) == via_index.to_set(["b", "a", "y", "n"])
+
+
+class TestZoneMapPushdownHelpers:
+    def test_subject_range_for_sorted_property(self):
+        ctx = _library_context(with_dirty=False)
+        store = ctx.clustered_store
+        year_oid = _predicate(ctx, "in_year")
+        block = next(b for b in store.blocks if b.has_property(year_oid))
+        assert year_oid in block.sorted_properties
+        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
+                                                   Literal("1992", datatype=XSD_INTEGER))
+        subject_range = subject_range_for_property_range(block, year_oid, OidRange(bounds[0], bounds[1]))
+        assert subject_range is not None
+        # every matching subject must fall inside the derived range
+        star = _star(ctx, OidRange(bounds[0], bounds[1]))
+        result, _ = execute_plan(RDFScanOp(star), ctx)
+        for subject in result.column("b"):
+            assert subject_range.contains(int(subject))
+
+    def test_subject_range_returns_none_for_unsorted_property(self):
+        ctx = _library_context(with_dirty=False)
+        store = ctx.clustered_store
+        isbn_oid = _predicate(ctx, "isbn_no")
+        block = next(b for b in store.blocks if b.has_property(isbn_oid))
+        if isbn_oid in block.sorted_properties:
+            pytest.skip("isbn column happens to be sorted in this layout")
+        assert subject_range_for_property_range(block, isbn_oid, OidRange(0, 10)) is None
+
+    def test_fk_range_from_zonemap(self):
+        ctx = _library_context(with_dirty=False, zone_size=4)
+        store = ctx.clustered_store
+        year_oid = _predicate(ctx, "in_year")
+        author_oid = _predicate(ctx, "has_author")
+        block = next(b for b in store.blocks if b.has_property(year_oid))
+        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
+                                                   Literal("1993", datatype=XSD_INTEGER))
+        fk_range = fk_range_from_zonemap(block, year_oid, OidRange(bounds[0], bounds[1]), author_oid)
+        assert fk_range is not None
+        # the derived bound must cover every author actually referenced by matching books
+        star = _star(ctx, OidRange(bounds[0], bounds[1]))
+        result, _ = execute_plan(RDFScanOp(star), ctx)
+        for author in result.column("a"):
+            assert fk_range.contains(int(author))
+
+
+# -- property-based equivalence over random regular/dirty data --------------------------
+
+
+@st.composite
+def random_star_dataset(draw):
+    subject_count = draw(st.integers(4, 25))
+    property_count = draw(st.integers(2, 4))
+    rows = []
+    for s in range(subject_count):
+        for p in range(property_count):
+            if draw(st.booleans()) or p < 2:
+                value = draw(st.integers(0, 6))
+                rows.append((s, p, value))
+                # occasional second value for the same property (dirty data)
+                if draw(st.integers(0, 9)) == 0:
+                    rows.append((s, p, draw(st.integers(0, 6))))
+    return sorted(set(rows)), property_count
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_star_dataset())
+def test_rdfscan_equals_merge_evaluation_property(data):
+    """RDFscan over the clustered store gives exactly the same star bindings as
+    a naive per-subject evaluation over the raw triples."""
+    rows, property_count = data
+    triples = [Triple(IRI(f"{EX}s{s}"), IRI(f"{EX}p{p}"), Literal(f"v{o}")) for s, p, o in rows]
+    dictionary, matrix = encode_graph(triples)
+    schema = discover_schema(matrix, dictionary,
+                             DiscoveryConfig(generalization=GeneralizationConfig(min_support=2)))
+    matrix, _plan = cluster_subjects(matrix, dictionary, schema)
+    pool = BufferPool(page_size=4)
+    ctx = ExecutionContext(
+        dictionary=dictionary, pool=pool,
+        index_store=ExhaustiveIndexStore(matrix, pool=pool),
+        clustered_store=ClusteredStore.build(matrix, schema, pool=pool),
+        schema=schema,
+    )
+    star_predicates = [dictionary.lookup_term(IRI(f"{EX}p{p}")) for p in range(2)]
+    star = StarPattern(subject_var="s", properties=[
+        StarProperty(star_predicates[0], PatternTerm.variable("v0")),
+        StarProperty(star_predicates[1], PatternTerm.variable("v1")),
+    ])
+    result, _ = execute_plan(RDFScanOp(star), ctx)
+
+    # naive evaluation straight over the encoded triples
+    by_subject = {}
+    for s, p, o in matrix.tolist():
+        by_subject.setdefault(s, {}).setdefault(p, set()).add(o)
+    expected = set()
+    for s, props in by_subject.items():
+        v0s = props.get(star_predicates[0], set())
+        v1s = props.get(star_predicates[1], set())
+        for v0 in v0s:
+            for v1 in v1s:
+                expected.add((s, v0, v1))
+    assert result.to_set(["s", "v0", "v1"]) == expected

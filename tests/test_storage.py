@@ -1,0 +1,290 @@
+"""Tests for triple tables, the exhaustive index store, clustering and the
+clustered store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.columnar import BufferPool, NULL_OID
+from repro.cs import DiscoveryConfig, GeneralizationConfig, discover_schema
+from repro.errors import StorageError
+from repro.model import EncodedTriple, Graph, IRI, Literal, TermDictionary, Triple
+from repro.model.terms import XSD_INTEGER
+from repro.storage import (
+    ClusteredStore,
+    ExhaustiveIndexStore,
+    ORDERS,
+    TripleTable,
+    cluster_subjects,
+    deduplicate_triples,
+    encode_graph,
+    plan_subject_clustering,
+    value_order_literals,
+)
+
+EX = "http://example.org/"
+
+
+def _encoded(rows):
+    return [EncodedTriple(*row) for row in rows]
+
+
+SAMPLE = _encoded([
+    (0, 10, 20), (0, 11, 21), (1, 10, 22), (1, 11, 21), (2, 10, 20), (2, 12, 23),
+])
+
+
+class TestTripleTable:
+    def test_sorted_by_order(self):
+        table = TripleTable(SAMPLE, order="pso")
+        raw = table.raw()
+        keys = list(zip(raw[:, 1], raw[:, 0], raw[:, 2]))
+        assert keys == sorted(keys)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(StorageError):
+            TripleTable(SAMPLE, order="xyz")
+
+    def test_scan_prefix_by_predicate(self):
+        table = TripleTable(SAMPLE, order="pso")
+        rows = table.scan_prefix(10, fetch="so")
+        assert rows.shape == (3, 2)
+        assert set(rows[:, 0].tolist()) == {0, 1, 2}
+
+    def test_scan_prefix_two_levels(self):
+        table = TripleTable(SAMPLE, order="pso")
+        rows = table.scan_prefix(11, 1, fetch="o")
+        assert rows[:, 0].tolist() == [21]
+
+    def test_lookup_and_contains(self):
+        table = TripleTable(SAMPLE, order="spo")
+        assert table.lookup(0) == 2
+        assert table.contains(EncodedTriple(0, 10, 20))
+        assert not table.contains(EncodedTriple(0, 10, 999))
+
+    def test_predicate_counts(self):
+        table = TripleTable(SAMPLE)
+        assert table.predicate_counts() == {10: 3, 11: 2, 12: 1}
+
+    def test_subject_property_sets(self):
+        table = TripleTable(SAMPLE)
+        sets = table.subject_property_sets()
+        assert sets[0] == frozenset({10, 11})
+        assert sets[2] == frozenset({10, 12})
+
+    def test_subject_property_multiplicities(self):
+        rows = _encoded([(0, 10, 1), (0, 10, 2), (0, 11, 3)])
+        table = TripleTable(rows)
+        mults = table.subject_property_multiplicities()
+        assert mults[0] == {10: 2, 11: 1}
+
+    def test_empty_table(self):
+        table = TripleTable([])
+        assert len(table) == 0
+        assert table.scan_prefix(5).shape == (0, 3)
+
+    def test_page_accounting_on_scan(self):
+        pool = BufferPool(page_size=2)
+        table = TripleTable(SAMPLE, order="pso", pool=pool)
+        table.scan_prefix(10, fetch="so")
+        assert pool.tracker.page_reads > 0
+
+    def test_deduplicate(self):
+        rows = _encoded([(0, 1, 2), (0, 1, 2), (3, 4, 5)])
+        assert len(deduplicate_triples(rows)) == 2
+
+
+class TestExhaustiveIndexStore:
+    @pytest.fixture()
+    def store(self):
+        return ExhaustiveIndexStore(np.asarray([[t.s, t.p, t.o] for t in SAMPLE]))
+
+    def test_maintains_all_orders(self, store):
+        assert set(store.tables) == set(ORDERS)
+        assert len(store) == len(SAMPLE)
+
+    def test_best_order_selection(self, store):
+        assert store.best_order("p") in ("pso", "pos")
+        assert store.best_order("sp") in ("spo", "sop")
+        assert store.best_order("spo") in ORDERS
+
+    def test_scan_pattern_matches_naive(self, store):
+        expected = {(t.s, t.o) for t in SAMPLE if t.p == 10}
+        rows = store.scan_pattern(p=10, fetch="so")
+        assert {tuple(r) for r in rows.tolist()} == expected
+
+    def test_scan_pattern_subject_and_predicate(self, store):
+        rows = store.scan_pattern(s=1, p=11, fetch="o")
+        assert rows[:, 0].tolist() == [21]
+
+    def test_scan_pattern_object_only(self, store):
+        rows = store.scan_pattern(o=21, fetch="s")
+        assert sorted(rows[:, 0].tolist()) == [0, 1]
+
+    def test_count_pattern(self, store):
+        assert store.count_pattern(p=10) == 3
+        assert store.count_pattern(p=10, o=20) == 2
+        assert store.count_pattern() == len(SAMPLE)
+
+    def test_contains_and_object_lookup(self, store):
+        assert store.contains(EncodedTriple(2, 12, 23))
+        assert store.object_lookup(2, 12).tolist() == [23]
+
+    def test_unknown_order_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.table("abc")
+
+
+def _book_like_store(dirty: bool = True):
+    triples = []
+    for i in range(12):
+        s = IRI(f"{EX}b{i}")
+        triples.append(Triple(s, IRI(EX + "type"), IRI(EX + "Book")))
+        triples.append(Triple(s, IRI(EX + "author"), IRI(f"{EX}a{i % 3}")))
+        triples.append(Triple(s, IRI(EX + "year"), Literal(str(1990 + i), datatype=XSD_INTEGER)))
+    for i in range(3):
+        s = IRI(f"{EX}a{i}")
+        triples.append(Triple(s, IRI(EX + "type"), IRI(EX + "Person")))
+        triples.append(Triple(s, IRI(EX + "name"), Literal(f"Author {i}")))
+    if dirty:
+        triples.append(Triple(IRI(f"{EX}b0"), IRI(EX + "author"), IRI(f"{EX}a2")))  # second author
+        triples.append(Triple(IRI(f"{EX}weird"), IRI(EX + "foo"), Literal("bar")))
+    dictionary, matrix = encode_graph(triples)
+    matrix = value_order_literals(matrix, dictionary)
+    config = DiscoveryConfig(generalization=GeneralizationConfig(min_support=3))
+    schema = discover_schema(matrix, dictionary, config)
+    return dictionary, matrix, schema
+
+
+class TestSubjectClustering:
+    def test_plan_is_bijection_over_member_subjects(self):
+        dictionary, matrix, schema = _book_like_store()
+        plan = plan_subject_clustering(matrix, dictionary, schema)
+        assert sorted(plan.mapping.keys()) == sorted(plan.mapping.values())
+
+    def test_cluster_groups_subjects_contiguously(self):
+        dictionary, matrix, schema = _book_like_store()
+        new_matrix, plan = cluster_subjects(matrix, dictionary, schema)
+        # after clustering, each CS's subject OIDs form a contiguous run within
+        # the sorted list of all member subject OIDs
+        all_members = sorted(s for t in schema.tables.values() for s in t.subjects)
+        position = {s: i for i, s in enumerate(all_members)}
+        for table in schema.tables.values():
+            positions = sorted(position[s] for s in table.subjects)
+            assert positions == list(range(positions[0], positions[0] + len(positions)))
+
+    def test_cluster_preserves_triples(self):
+        dictionary, matrix, schema = _book_like_store()
+        before = {tuple(dictionary.decode_triple(EncodedTriple(*row)).n3() for _ in [0])[0]
+                  for row in matrix.tolist()}
+        new_matrix, _plan = cluster_subjects(matrix, dictionary, schema)
+        after = {dictionary.decode_triple(EncodedTriple(*row)).n3() for row in new_matrix.tolist()}
+        assert before == after
+
+    def test_sort_key_orders_subjects_by_value(self):
+        dictionary, matrix, schema = _book_like_store(dirty=False)
+        year_oid = dictionary.lookup_term(IRI(EX + "year"))
+        book_cs = next(cs_id for cs_id, t in schema.tables.items()
+                       if any(p == year_oid for p in t.properties))
+        new_matrix, _plan = cluster_subjects(matrix, dictionary, schema, {book_cs: year_oid})
+        store = ClusteredStore.build(new_matrix, schema)
+        block = store.block(book_cs)
+        years = block.column(year_oid).data
+        valid = years[years != NULL_OID]
+        assert list(valid) == sorted(valid)
+        assert year_oid in block.sorted_properties
+
+
+class TestClusteredStore:
+    def test_reconstruction_equals_input(self):
+        dictionary, matrix, schema = _book_like_store()
+        new_matrix, _ = cluster_subjects(matrix, dictionary, schema)
+        store = ClusteredStore.build(new_matrix, schema)
+        original = sorted(map(tuple, new_matrix.tolist()))
+        rebuilt = sorted(map(tuple, store.reconstruct_triples().tolist()))
+        assert original == rebuilt
+        assert store.triple_count() == new_matrix.shape[0]
+
+    def test_irregular_subjects_stay_in_triple_store(self):
+        dictionary, matrix, schema = _book_like_store()
+        new_matrix, _ = cluster_subjects(matrix, dictionary, schema)
+        store = ClusteredStore.build(new_matrix, schema)
+        weird = dictionary.lookup_term(IRI(f"{EX}weird"))
+        assert store.block_of_subject(weird) is None
+        assert len(store.irregular) >= 1
+        assert 0 < store.regular_fraction() < 1
+
+    def test_blocks_with_properties(self):
+        dictionary, matrix, schema = _book_like_store()
+        new_matrix, _ = cluster_subjects(matrix, dictionary, schema)
+        store = ClusteredStore.build(new_matrix, schema)
+        author = dictionary.lookup_term(IRI(EX + "author"))
+        year = dictionary.lookup_term(IRI(EX + "year"))
+        name = dictionary.lookup_term(IRI(EX + "name"))
+        assert len(store.blocks_with_properties([author, year])) == 1
+        assert len(store.blocks_with_properties([author, name])) == 0
+
+    def test_zone_maps_built_on_request(self):
+        dictionary, matrix, schema = _book_like_store(dirty=False)
+        new_matrix, _ = cluster_subjects(matrix, dictionary, schema)
+        zone_props = {cs_id: list(t.properties) for cs_id, t in schema.tables.items()}
+        store = ClusteredStore.build(new_matrix, schema, zone_map_properties=zone_props, zone_size=4)
+        block = store.blocks[0]
+        assert block.zone_maps
+        for zone_map in block.zone_maps.values():
+            assert len(zone_map) >= 1
+
+    def test_unknown_block_raises(self):
+        dictionary, matrix, schema = _book_like_store()
+        store = ClusteredStore.build(matrix, schema)
+        with pytest.raises(StorageError):
+            store.block(999)
+
+    def test_positions_of_subjects(self):
+        dictionary, matrix, schema = _book_like_store(dirty=False)
+        new_matrix, _ = cluster_subjects(matrix, dictionary, schema)
+        store = ClusteredStore.build(new_matrix, schema)
+        block = store.blocks[0]
+        subjects = block.subject_column.data
+        positions = block.positions_of_subjects(np.asarray([subjects[0], subjects[-1], 10**9]))
+        assert list(positions) == [0, len(block) - 1]
+
+
+# -- property-based equivalence --------------------------------------------------------
+
+
+@st.composite
+def random_encoded_dataset(draw):
+    """Random small (s, p, o) datasets with a handful of predicates."""
+    n = draw(st.integers(5, 60))
+    rows = set()
+    for _ in range(n):
+        s = draw(st.integers(0, 15))
+        p = draw(st.integers(0, 4))
+        o = draw(st.integers(100, 130))
+        rows.add((s, p, o))
+    return sorted(rows)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_encoded_dataset())
+def test_exhaustive_store_pattern_scans_match_naive(rows):
+    matrix = np.asarray(rows, dtype=np.int64)
+    store = ExhaustiveIndexStore(matrix)
+    for s, p, o in [(None, 2, None), (3, None, None), (None, None, 105), (3, 2, None)]:
+        expected = {tuple(r) for r in rows
+                    if (s is None or r[0] == s) and (p is None or r[1] == p) and (o is None or r[2] == o)}
+        got = {tuple(r) for r in store.scan_pattern(s=s, p=p, o=o).tolist()}
+        assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_encoded_dataset())
+def test_clustered_store_never_loses_triples(rows):
+    """Building the clustered store over any discovered schema preserves the
+    exact triple set (blocks + irregular spill)."""
+    matrix = np.asarray(rows, dtype=np.int64)
+    schema = discover_schema(matrix, dictionary=None,
+                             config=DiscoveryConfig(generalization=GeneralizationConfig(min_support=2)))
+    store = ClusteredStore.build(matrix, schema)
+    assert sorted(map(tuple, store.reconstruct_triples().tolist())) == sorted(map(tuple, matrix.tolist()))
