@@ -59,10 +59,13 @@ def main() -> None:
     print(store.require_catalog().ddl_script())
     print()
 
-    # 2. the same question through SPARQL, with both plan schemes
-    for scheme in ("default", "rdfscan"):
+    # 2. the same question through SPARQL, with all three plan schemes
+    for scheme in ("default", "rdfscan", "optimized"):
         result = store.sparql(SPARQL_QUERY, PlannerOptions(scheme=scheme))
-        print(f"SPARQL [{scheme:>7}] -> {store.decode_rows(result)}  ({result.cost.describe()})")
+        print(f"SPARQL [{scheme:>9}] -> {store.decode_rows(result)}  ({result.cost.describe()})")
+    print()
+    print("=== EXPLAIN ANALYZE (cost-based plan, estimated vs. actual rows) ===")
+    print(store.explain(SPARQL_QUERY, PlannerOptions(scheme="optimized"), analyze=True))
     print()
 
     # 3. and through the emergent SQL view — same storage, same answers

@@ -29,13 +29,20 @@ from .errors import (
     StorageError,
 )
 from .model import BNode, Graph, IRI, Literal, Triple
-from .sparql import PlannerOptions
+from .sparql import (
+    DEFAULT_SCHEME,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlanCache,
+    PlannerOptions,
+)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "BNode",
     "BenchmarkError",
+    "DEFAULT_SCHEME",
     "DictionaryError",
     "DiscoveryConfig",
     "EmergentSchema",
@@ -44,9 +51,12 @@ __all__ = [
     "Graph",
     "IRI",
     "Literal",
+    "OPTIMIZED_SCHEME",
     "ParseError",
+    "PlanCache",
     "PlanError",
     "PlannerOptions",
+    "RDFSCAN_SCHEME",
     "RDFStore",
     "ReproError",
     "SchemaError",

@@ -3,11 +3,17 @@
 from .bufferpool import BufferPool, DEFAULT_PAGE_SIZE
 from .column import Column, NULL_OID
 from .cost import CostModel, CostTracker, QueryCost
-from .stats import ColumnStats, EquiWidthHistogram, PredicateCooccurrence
+from .stats import (
+    CardinalityEstimator,
+    ColumnStats,
+    EquiWidthHistogram,
+    PredicateCooccurrence,
+)
 from .zonemap import DEFAULT_ZONE_SIZE, Zone, ZoneMap
 
 __all__ = [
     "BufferPool",
+    "CardinalityEstimator",
     "Column",
     "ColumnStats",
     "CostModel",

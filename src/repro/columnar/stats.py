@@ -1,16 +1,24 @@
-"""Lightweight column and predicate statistics.
+"""Column and predicate statistics plus the cardinality estimator.
 
-Used by the CS-aware query optimizer for cardinality estimation: per-column
-histograms, distinct counts and the co-occurrence statistics that make join
-selectivity between triple patterns of the same characteristic set exact
-(the paper's point: knowing that ``isbn_no`` and ``has_author`` co-occur on
-the same subjects makes their "join" hit ratio 1).
+Used by the cost-based query optimizer: per-column histograms, distinct
+counts, the co-occurrence statistics that make join selectivity between
+triple patterns of the same characteristic set exact (the paper's point:
+knowing that ``isbn_no`` and ``has_author`` co-occur on the same subjects
+makes their "join" hit ratio 1), and — built on top of all of these — the
+:class:`CardinalityEstimator` that the SPARQL planner consults to order
+joins and annotate physical plans with expected row counts.
+
+The estimator deliberately lives at the columnar layer (below the engine)
+and treats plan objects duck-typed: a *star* is anything with
+``predicate_oids()``, ``properties`` and ``subject_range``; a *property* is
+anything with ``predicate_oid``, ``object_term`` and ``oid_range``.  This
+keeps the layering acyclic: columnar ← engine ← sparql.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -172,3 +180,320 @@ class PredicateCooccurrence:
         for q in preds[1:]:
             estimate *= self.conditional(anchor, q)
         return estimate
+
+
+#: Fallback equality selectivity when no statistics cover a predicate.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+#: Fallback range selectivity when no statistics cover a predicate.
+DEFAULT_RANGE_SELECTIVITY = 0.3
+
+
+class CardinalityEstimator:
+    """Cardinality estimates from CS statistics and index metadata.
+
+    The estimator combines three sources, in decreasing order of precision:
+
+    1. the exhaustive permutation indexes — exact per-pattern triple counts
+       through binary search (no page accounting: statistics lookups are
+       metadata, not query work);
+    2. the clustered store's CS blocks — per-column
+       :class:`ColumnStats` (distinct counts, min/max, null fractions),
+       computed lazily and cached;
+    3. the emergent schema — per-CS subject counts and property fill
+       factors (``presence``), which make star-pattern estimates *structure
+       aware*: a star is only charged to the characteristic sets that
+       actually contain all its properties.
+
+    Every argument is optional; missing sources degrade gracefully to the
+    textbook default selectivities.  Plan objects are duck-typed (see the
+    module docstring) so this class has no dependency on the engine layer.
+    """
+
+    def __init__(self, schema=None, index_store=None, clustered_store=None) -> None:
+        self.schema = schema
+        self.index_store = index_store
+        self.clustered_store = clustered_store
+        self._column_stats_cache: Dict[Tuple[int, int], Optional[ColumnStats]] = {}
+        self._subject_stats_cache: Dict[int, Optional[ColumnStats]] = {}
+        self._distinct_objects_cache: Dict[int, float] = {}
+        self._distinct_subjects_cache: Dict[int, float] = {}
+        self._predicate_counts: Optional[Dict[int, int]] = None
+        self._blocks_by_cs: Optional[Dict[int, object]] = None
+
+    # -- base statistics ---------------------------------------------------------
+
+    def total_triples(self) -> float:
+        """Total triple count (0 when no source is attached)."""
+        if self.index_store is not None:
+            return float(len(self.index_store))
+        if self.schema is not None:
+            return float(self.schema.coverage.total_triples)
+        return 0.0
+
+    def total_subjects(self) -> float:
+        """Total distinct-subject count known to the schema (or a bound)."""
+        if self.schema is not None and self.schema.coverage.total_subjects:
+            return float(self.schema.coverage.total_subjects)
+        return self.total_triples()
+
+    def predicate_count(self, predicate_oid: int) -> float:
+        """Number of triples carrying the predicate."""
+        if self.index_store is not None:
+            if self._predicate_counts is None:
+                self._predicate_counts = self.index_store.predicate_counts()
+            return float(self._predicate_counts.get(predicate_oid, 0))
+        if self.schema is not None:
+            total = 0.0
+            for cs in self.schema.tables.values():
+                spec = cs.properties.get(predicate_oid)
+                if spec is not None:
+                    total += cs.support * spec.presence * max(spec.mean_multiplicity, 1.0)
+            return total
+        return 0.0
+
+    def distinct_objects(self, predicate_oid: int) -> float:
+        """Estimated number of distinct object values of a predicate."""
+        cached = self._distinct_objects_cache.get(predicate_oid)
+        if cached is not None:
+            return cached
+        estimate: Optional[float] = None
+        if self.clustered_store is not None:
+            total = 0.0
+            seen = False
+            for block in self.clustered_store.blocks:
+                if not block.has_property(predicate_oid):
+                    continue
+                stats = self._block_column_stats(block, predicate_oid)
+                if stats is not None:
+                    total += stats.distinct_count
+                    seen = True
+            if seen:
+                estimate = max(total, 1.0)
+        if estimate is None and self.index_store is not None and "pos" in self.index_store.tables:
+            table = self.index_store.tables["pos"]
+            lo, hi = table.prefix_row_range(predicate_oid)
+            if hi > lo:
+                segment = table.column("o").data[lo:hi]
+                # POS is object-sorted within the predicate: count value changes
+                estimate = float(1 + int(np.count_nonzero(segment[1:] != segment[:-1])))
+            else:
+                estimate = 0.0
+        if estimate is None:
+            estimate = max(self.predicate_count(predicate_oid), 1.0)
+        self._distinct_objects_cache[predicate_oid] = estimate
+        return estimate
+
+    def distinct_subjects(self, predicate_oid: int) -> float:
+        """Estimated number of distinct subjects carrying a predicate."""
+        cached = self._distinct_subjects_cache.get(predicate_oid)
+        if cached is not None:
+            return cached
+        estimate: Optional[float] = None
+        if self.schema is not None:
+            total = 0.0
+            for cs in self.schema.tables.values():
+                spec = cs.properties.get(predicate_oid)
+                if spec is not None:
+                    total += cs.support * spec.presence
+            if total > 0:
+                estimate = total
+        if estimate is None and self.index_store is not None and "pso" in self.index_store.tables:
+            table = self.index_store.tables["pso"]
+            lo, hi = table.prefix_row_range(predicate_oid)
+            if hi > lo:
+                segment = table.column("s").data[lo:hi]
+                # PSO is subject-sorted within the predicate: count value changes
+                estimate = float(1 + int(np.count_nonzero(segment[1:] != segment[:-1])))
+            else:
+                estimate = 0.0
+        if estimate is None:
+            estimate = max(self.predicate_count(predicate_oid), 1.0)
+        self._distinct_subjects_cache[predicate_oid] = estimate
+        return estimate
+
+    # -- per-pattern estimates -----------------------------------------------------
+
+    def pattern_cardinality(self, s: Optional[int] = None, p: Optional[int] = None,
+                            o: Optional[int] = None, object_range=None,
+                            subject_range=None) -> float:
+        """Estimated triples matching one pattern, with optional OID ranges.
+
+        With the exhaustive index store attached the bound-slot count is
+        exact (binary search) and attached ranges are resolved exactly
+        against the value-sorted POS/PSO projections; otherwise the estimate
+        falls back to schema predicate counts scaled by default
+        selectivities.
+        """
+        if self.index_store is not None:
+            base = float(self.index_store.count_pattern(s=s, p=p, o=o))
+            if base == 0.0:
+                return 0.0
+            if p is not None and s is None and o is None and _is_bounded(object_range):
+                exact = self._range_count(p, object_range, "o")
+                if exact is not None:
+                    base = exact
+                    object_range = None
+            if p is not None and s is None and o is None and _is_bounded(subject_range):
+                fraction = self._range_fraction(p, subject_range, "s")
+                if fraction is not None:
+                    base *= fraction
+                    subject_range = None
+            if _is_bounded(object_range):
+                base *= DEFAULT_RANGE_SELECTIVITY
+            if _is_bounded(subject_range):
+                base *= DEFAULT_RANGE_SELECTIVITY
+            return base
+        base = self.predicate_count(p) if p is not None else self.total_triples()
+        if s is not None:
+            base /= max(self.total_subjects(), 1.0)
+        if o is not None:
+            base *= DEFAULT_EQUALITY_SELECTIVITY
+        if _is_bounded(object_range):
+            base *= DEFAULT_RANGE_SELECTIVITY
+        if _is_bounded(subject_range):
+            base *= DEFAULT_RANGE_SELECTIVITY
+        return base
+
+    def _range_count(self, predicate_oid: int, oid_range, component: str) -> Optional[float]:
+        """Exact rows of predicate whose S/O component falls in the range."""
+        order = "pos" if component == "o" else "pso"
+        if self.index_store is None or order not in self.index_store.tables:
+            return None
+        table = self.index_store.tables[order]
+        lo, hi = table.prefix_row_range(predicate_oid)
+        if hi <= lo:
+            return 0.0
+        segment = table.column(component).data[lo:hi]
+        start = 0 if oid_range.low is None else int(np.searchsorted(segment, oid_range.low, side="left"))
+        stop = segment.size if oid_range.high is None else int(
+            np.searchsorted(segment, oid_range.high, side="right"))
+        return float(max(0, stop - start))
+
+    def _range_fraction(self, predicate_oid: int, oid_range, component: str) -> Optional[float]:
+        count = self._range_count(predicate_oid, oid_range, component)
+        if count is None:
+            return None
+        total = self.predicate_count(predicate_oid)
+        if total <= 0:
+            return 0.0
+        return count / total
+
+    # -- star-pattern estimates ------------------------------------------------------
+
+    def star_subject_cardinality(self, star) -> float:
+        """Estimated subjects satisfying every property of a star pattern."""
+        return self._star_estimate(star)[0]
+
+    def star_cardinality(self, star) -> float:
+        """Estimated result rows of a star (subjects times multi-value fan-out)."""
+        return self._star_estimate(star)[1]
+
+    def _star_estimate(self, star) -> Tuple[float, float]:
+        predicates = list(star.predicate_oids())
+        tables = (self.schema.tables_with_properties(predicates)
+                  if self.schema is not None else [])
+        if tables:
+            subjects = 0.0
+            rows = 0.0
+            for cs in tables:
+                cs_rows = float(max(cs.support, len(cs.subjects)))
+                selectivity = 1.0
+                fan_out = 1.0
+                for prop in star.properties:
+                    selectivity *= self._property_selectivity(cs, prop)
+                    spec = cs.properties.get(prop.predicate_oid)
+                    if spec is not None:
+                        fan_out *= max(spec.mean_multiplicity, 1.0)
+                selectivity *= self._subject_range_fraction(cs, star.subject_range)
+                subjects += cs_rows * selectivity
+                rows += cs_rows * selectivity * fan_out
+            return subjects, rows
+        # No covering CS (schema missing, or the star spans irregular data):
+        # bound the star by its most selective single pattern.
+        cards = []
+        for prop in star.properties:
+            constant = None if prop.object_term.is_variable else prop.object_term.oid
+            cards.append(self.pattern_cardinality(
+                p=prop.predicate_oid, o=constant,
+                object_range=prop.oid_range, subject_range=star.subject_range))
+        if not cards:
+            return self.total_subjects(), self.total_subjects()
+        return min(cards), min(cards)
+
+    def _property_selectivity(self, cs, prop) -> float:
+        """Fraction of the CS's subjects matched by one star property."""
+        spec = cs.properties.get(prop.predicate_oid)
+        presence = spec.presence if spec is not None else 1.0
+        stats = self._column_stats(cs.cs_id, prop.predicate_oid)
+        constant = None if prop.object_term.is_variable else prop.object_term.oid
+        if constant is not None:
+            if stats is not None:
+                return stats.estimate_equality_selectivity()
+            total = self.predicate_count(prop.predicate_oid)
+            if total > 0:
+                matches = self.pattern_cardinality(p=prop.predicate_oid, o=constant)
+                return presence * matches / total
+            return presence * DEFAULT_EQUALITY_SELECTIVITY
+        if _is_bounded(prop.oid_range):
+            if stats is not None:
+                return stats.estimate_range_selectivity(prop.oid_range.low, prop.oid_range.high)
+            fraction = self._range_fraction(prop.predicate_oid, prop.oid_range, "o")
+            if fraction is not None:
+                return presence * fraction
+            return presence * DEFAULT_RANGE_SELECTIVITY
+        return presence
+
+    def _subject_range_fraction(self, cs, subject_range) -> float:
+        if not _is_bounded(subject_range):
+            return 1.0
+        stats = self._subject_stats(cs.cs_id)
+        if stats is not None:
+            fraction = stats.estimate_range_selectivity(subject_range.low, subject_range.high)
+            return fraction
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # -- lazily cached column statistics ------------------------------------------------
+
+    def _block_for(self, cs_id: int):
+        if self.clustered_store is None:
+            return None
+        if self._blocks_by_cs is None:
+            self._blocks_by_cs = {block.cs_id: block
+                                  for block in self.clustered_store.blocks}
+        return self._blocks_by_cs.get(cs_id)
+
+    def _block_column_stats(self, block, predicate_oid: int) -> Optional[ColumnStats]:
+        key = (block.cs_id, predicate_oid)
+        if key not in self._column_stats_cache:
+            if block.has_property(predicate_oid):
+                stats = ColumnStats.from_values(block.column(predicate_oid).data)
+            else:
+                stats = None
+            self._column_stats_cache[key] = stats
+        return self._column_stats_cache[key]
+
+    def _column_stats(self, cs_id: int, predicate_oid: int) -> Optional[ColumnStats]:
+        block = self._block_for(cs_id)
+        if block is None:
+            return None
+        return self._block_column_stats(block, predicate_oid)
+
+    def _subject_stats(self, cs_id: int) -> Optional[ColumnStats]:
+        if cs_id not in self._subject_stats_cache:
+            block = self._block_for(cs_id)
+            stats = ColumnStats.from_values(block.subject_column.data) if block is not None else None
+            self._subject_stats_cache[cs_id] = stats
+        return self._subject_stats_cache[cs_id]
+
+    # -- join estimates ------------------------------------------------------------------
+
+    @staticmethod
+    def join_cardinality(left_rows: float, right_rows: float,
+                         left_distinct: float, right_distinct: float) -> float:
+        """Textbook equi-join estimate: ``|L|·|R| / max(d(L), d(R))``."""
+        denominator = max(left_distinct, right_distinct, 1.0)
+        return max(0.0, left_rows * right_rows / denominator)
+
+
+def _is_bounded(oid_range) -> bool:
+    return oid_range is not None and not oid_range.is_unbounded()

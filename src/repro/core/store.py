@@ -7,12 +7,15 @@ A store is built in the order the paper's architecture prescribes:
 2. :meth:`RDFStore.discover_schema` — run characteristic-set discovery;
 3. :meth:`RDFStore.cluster` — re-assign subject OIDs by CS (subject
    clustering), build the clustered store with optional zone maps;
-4. query — :meth:`RDFStore.sparql` (Default or RDFscan/RDFjoin scheme) and
-   :meth:`RDFStore.sql` over the emergent relational view.
+4. query — :meth:`RDFStore.sparql` (Default, RDFscan/RDFjoin or cost-based
+   ``optimized`` scheme) and :meth:`RDFStore.sql` over the emergent
+   relational view.
 
 ``RDFStore.build(...)`` runs the whole pipeline in one call.  The store also
 exposes cold/hot buffer-pool control so experiments can reproduce the
-cold-vs-hot columns of Table I.
+cold-vs-hot columns of Table I, an LRU plan cache so repeated queries skip
+parse + plan, and :meth:`RDFStore.explain` to inspect plans with estimated
+vs. actual cardinalities.
 """
 
 from __future__ import annotations
@@ -24,11 +27,11 @@ import numpy as np
 
 from ..columnar import BufferPool, CostModel
 from ..cs import DiscoveryConfig, EmergentSchema, discover_schema
-from ..engine import ExecutionContext
+from ..engine import ExecutionContext, execute_plan
 from ..errors import StorageError
 from ..model import Graph, IRI, TermDictionary, Triple
 from ..rio import parse_rdf
-from ..sparql import PlannerOptions, QueryResult, SparqlEngine
+from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine
 from ..sql import Catalog, SqlEngine, SqlResult
 from ..storage import (
     ClusteredStore,
@@ -42,7 +45,20 @@ from ..storage import (
 
 @dataclass
 class StoreConfig:
-    """Configuration of an :class:`RDFStore`."""
+    """Configuration of an :class:`RDFStore`.
+
+    Attributes:
+        discovery: characteristic-set discovery thresholds.
+        buffer_pool_pages: capacity of the simulated buffer pool.
+        page_size: simulated page size in values.
+        zone_size: rows per zone in the clustered store's zone maps.
+        build_exhaustive_indexes: build the six-permutation index store.
+        build_zone_maps: build per-column zone maps when clustering.
+        cost_model: counters-to-seconds conversion, also used by the
+            cost-based optimizer to price candidate plans.
+        plan_cache_size: entries kept in the LRU plan cache (0 disables
+            caching).
+    """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
     buffer_pool_pages: int = 1 << 20
@@ -51,6 +67,7 @@ class StoreConfig:
     build_exhaustive_indexes: bool = True
     build_zone_maps: bool = True
     cost_model: CostModel = field(default_factory=CostModel)
+    plan_cache_size: int = 128
 
 
 class RDFStore:
@@ -67,7 +84,9 @@ class RDFStore:
         self.clustered_store: Optional[ClusteredStore] = None
         self.clustering_plan: Optional[ClusteringPlan] = None
         self.catalog: Optional[Catalog] = None
+        self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
         self._context: Optional[ExecutionContext] = None
+        self._sparql_engine: Optional[SparqlEngine] = None
         self._clustered = False
 
     # -- construction pipeline ----------------------------------------------------
@@ -81,7 +100,24 @@ class RDFStore:
         sort_key_names: Optional[Dict[str, str]] = None,
         cluster: bool = True,
     ) -> "RDFStore":
-        """Run the full pipeline: load, discover, (optionally) cluster."""
+        """Run the full pipeline: load, discover, (optionally) cluster.
+
+        Args:
+            source: a :class:`Graph`, an iterable of :class:`Triple`, or RDF
+                text (N-Triples).
+            config: store configuration; defaults to :class:`StoreConfig`.
+            sort_keys: CS id -> predicate OID to sub-order each CS on.
+            sort_key_names: table label -> predicate IRI (friendlier variant).
+            cluster: when ``False``, stop after schema discovery and build
+                only the exhaustive indexes (the ParseOrder baseline).
+
+        Returns:
+            The fully built store, ready for :meth:`sparql` / :meth:`sql`.
+
+        Raises:
+            ParseError: when RDF text cannot be parsed.
+            StorageError: when the source contains no triples.
+        """
         store = cls(config)
         store.load(source)
         store.discover_schema()
@@ -92,7 +128,22 @@ class RDFStore:
         return store
 
     def load(self, source: Graph | Iterable[Triple] | str, syntax: str = "ntriples") -> int:
-        """Load decoded triples (or RDF text) and encode them in parse order."""
+        """Load decoded triples (or RDF text) and encode them in parse order.
+
+        Loading invalidates every derived structure (schema, indexes,
+        clustered store, plan cache); duplicate triples are dropped.
+
+        Args:
+            source: a :class:`Graph`, an iterable of :class:`Triple`, or RDF
+                text in the given ``syntax`` (``ntriples`` or ``turtle``).
+            syntax: serialization of ``source`` when it is a string.
+
+        Returns:
+            The total number of distinct triples now loaded.
+
+        Raises:
+            ParseError: when RDF text cannot be parsed.
+        """
         if isinstance(source, str):
             triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
         else:
@@ -103,7 +154,17 @@ class RDFStore:
         return int(self.matrix.shape[0])
 
     def discover_schema(self, config: Optional[DiscoveryConfig] = None) -> EmergentSchema:
-        """Run characteristic-set discovery over the loaded triples."""
+        """Run characteristic-set discovery over the loaded triples.
+
+        Args:
+            config: discovery thresholds; defaults to the store config's.
+
+        Returns:
+            The discovered :class:`EmergentSchema` (also kept on the store).
+
+        Raises:
+            StorageError: when no triples have been loaded yet.
+        """
         if self.matrix.shape[0] == 0:
             raise StorageError("no triples loaded; call load() first")
         self.schema = discover_schema(self.matrix, self.dictionary,
@@ -116,9 +177,17 @@ class RDFStore:
                 sort_key_names: Optional[Dict[str, str]] = None) -> ClusteringPlan:
         """Apply subject clustering and (re)build the physical stores.
 
-        ``sort_keys`` maps CS id -> predicate OID used to sub-order the CS's
-        subjects; ``sort_key_names`` is the friendlier variant mapping table
-        label -> predicate IRI string.
+        Args:
+            sort_keys: CS id -> predicate OID used to sub-order the CS's
+                subjects.
+            sort_key_names: friendlier variant mapping table label ->
+                predicate IRI string (unknown labels are ignored).
+
+        Returns:
+            The :class:`ClusteringPlan` describing the OID re-assignment.
+
+        Raises:
+            StorageError: when the schema has not been discovered yet.
         """
         schema = self.require_schema()
         resolved = dict(sort_keys or {})
@@ -131,7 +200,11 @@ class RDFStore:
         return self.clustering_plan
 
     def build_indexes(self) -> None:
-        """Build the exhaustive index store and (when clustered) the clustered store."""
+        """Build the exhaustive index store and (when clustered) the clustered store.
+
+        Rebuilding changes plan validity, so the plan cache and the cached
+        SPARQL engine are dropped alongside the execution context.
+        """
         schema = self.schema
         if self.config.build_exhaustive_indexes:
             self.index_store = ExhaustiveIndexStore(self.matrix, pool=self.pool)
@@ -146,6 +219,8 @@ class RDFStore:
                 zone_size=self.config.zone_size,
             )
         self._context = None
+        self._sparql_engine = None
+        self.plan_cache.clear()
 
     def _resolve_sort_key_names(self, sort_key_names: Dict[str, str]) -> Dict[int, int]:
         schema = self.require_schema()
@@ -165,6 +240,8 @@ class RDFStore:
         self.clustering_plan = None
         self._clustered = False
         self._context = None
+        self._sparql_engine = None
+        self.plan_cache.clear()
         if not keep_schema:
             self.schema = None
             self.catalog = None
@@ -218,20 +295,99 @@ class RDFStore:
 
     # -- querying ----------------------------------------------------------------------
 
+    def sparql_engine(self) -> SparqlEngine:
+        """The store's SPARQL engine (cached, wired to the plan cache).
+
+        Reusing one engine across queries lets the plan cache and the
+        optimizer's statistics caches amortize; the engine is rebuilt
+        automatically whenever the execution context is invalidated.
+        """
+        context = self.context()
+        if self._sparql_engine is None or self._sparql_engine.context is not context:
+            self._sparql_engine = SparqlEngine(context, plan_cache=self.plan_cache)
+        return self._sparql_engine
+
     def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
-        """Run a SPARQL query; the plan scheme defaults to RDFscan/RDFjoin."""
-        return SparqlEngine(self.context()).query(text, options)
+        """Run a SPARQL query.
+
+        Args:
+            text: query text in the supported SELECT subset.
+            options: plan scheme configuration (``default``, ``rdfscan`` or
+                ``optimized``); defaults to RDFscan/RDFjoin.
+
+        Returns:
+            A :class:`QueryResult` with OID bindings, measured cost and the
+            executed plan.
+
+        Raises:
+            ParseError: when the query text is not in the supported subset.
+            PlanError: when the options name an unknown plan scheme.
+            ExecutionError: when the plan needs a store that is not built.
+        """
+        return self.sparql_engine().query(text, options)
 
     def sparql_plan(self, text: str, options: Optional[PlannerOptions] = None):
-        """Parse and plan (but do not run) a SPARQL query."""
-        return SparqlEngine(self.context()).prepare(text, options)[1]
+        """Parse and plan (but do not run) a SPARQL query.
+
+        Returns:
+            The root :class:`~repro.engine.PhysicalOperator` of the plan,
+            annotated with estimated row counts.
+        """
+        return self.sparql_engine().prepare(text, options)[1]
+
+    def explain(self, text: str, options: Optional[PlannerOptions] = None,
+                analyze: bool = False) -> str:
+        """Render a query's plan with estimated (and actual) cardinalities.
+
+        Args:
+            text: SPARQL query text.
+            options: plan scheme configuration; defaults to RDFscan/RDFjoin.
+            analyze: when ``True``, execute the plan first so every operator
+                line also reports the actually observed row count —
+                ``EXPLAIN ANALYZE``.
+
+        Returns:
+            A multi-line string: a header with the effective options
+            followed by the indented operator tree, each line carrying
+            ``est=…`` (and ``actual=…`` after execution).
+        """
+        options = options or PlannerOptions()
+        _query, plan = self.sparql_engine().prepare(text, options)
+        header = f"plan [{options.describe()}]"
+        if analyze:
+            _bindings, cost = execute_plan(plan, self.context())
+            header += f" {cost.describe()}"
+        return header + "\n" + plan.explain()
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Plan-cache counters: size, capacity, hits, misses, evictions."""
+        return self.plan_cache.stats()
 
     def sql(self, text: str) -> SqlResult:
-        """Run a SQL query against the emergent relational view."""
+        """Run a SQL query against the emergent relational view.
+
+        Args:
+            text: a SELECT statement over the discovered tables.
+
+        Returns:
+            A :class:`SqlResult` with rows, cost and the executed plan.
+
+        Raises:
+            ParseError: when the SQL text cannot be parsed.
+            SchemaError: when the query references unknown tables/columns.
+        """
         return SqlEngine(self.context(), self.require_catalog()).query(text)
 
     def decode_rows(self, result: QueryResult | SqlResult) -> List[tuple]:
-        """Decode a query result's OIDs back to Python values."""
+        """Decode a query result's OIDs back to Python values.
+
+        Args:
+            result: the value returned by :meth:`sparql` or :meth:`sql`.
+
+        Returns:
+            One tuple per result row, with IRIs/literals decoded to Python
+            strings, numbers, dates — computed aggregates stay floats.
+        """
         return result.decoded_rows(self.context())
 
     # -- reporting ----------------------------------------------------------------------

@@ -75,8 +75,23 @@ def discover_schema(
 ) -> EmergentSchema | Tuple[EmergentSchema, DiscoveryReport]:
     """Run the full discovery pipeline over an encoded ``(n, 3)`` triple matrix.
 
-    ``dictionary`` is needed for property typing and labeling; when omitted,
-    every property is typed ``MIXED`` and labels fall back to numeric names.
+    The pipeline detects exact characteristic sets, generalizes them under
+    the configured support thresholds, optionally splits typed variants,
+    infers property kinds, discovers foreign-key relationships, and
+    fine-tunes the result (merging/dropping marginal sets).
+
+    Args:
+        triple_matrix: ``(n, 3)`` int64 array of (subject, predicate,
+            object) OIDs.
+        dictionary: needed for property typing and labeling; when omitted,
+            every property is typed ``MIXED`` and labels fall back to
+            numeric names.
+        config: discovery thresholds; defaults to :class:`DiscoveryConfig`.
+        return_report: also return the per-stage :class:`DiscoveryReport`.
+
+    Returns:
+        The :class:`EmergentSchema` — or a ``(schema, report)`` tuple when
+        ``return_report`` is set.
     """
     config = config or DiscoveryConfig()
     matrix = np.asarray(triple_matrix, dtype=np.int64).reshape(-1, 3)

@@ -46,7 +46,7 @@ class IndexScanOp(PhysicalOperator):
             parts.append(f"subj{self.subject_range.describe()}")
         return " ".join(parts)
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         store = context.require_index_store()
         s, p, o = self.pattern.subject, self.pattern.predicate, self.pattern.object
@@ -161,7 +161,7 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
     def describe(self) -> str:
         return f"NestedLoopIndexJoin[{self.pattern.describe()}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
         input_table = self.child.execute(context)
@@ -233,7 +233,7 @@ class HashJoinOp(PhysicalOperator):
         on = ", ".join(self.join_vars) if self.join_vars else "<auto>"
         return f"HashJoin[on {on}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
         left = self.left.execute(context)
@@ -259,7 +259,7 @@ class FilterRangeOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterRange[?{self.var} in {self.oid_range.describe()}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         values = table.column(self.var)
@@ -286,7 +286,7 @@ class FilterEqualOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterEqual[?{self.var} == #{self.oid}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         values = table.column(self.var)
@@ -308,7 +308,7 @@ class FilterNotEqualOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterNotEqual[?{self.var} != #{self.oid}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         values = table.column(self.var)
@@ -329,7 +329,7 @@ class ProjectOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Project[{', '.join('?' + v for v in self.variables)}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.child.execute(context).project(self.variables)
 
@@ -343,7 +343,7 @@ class DistinctOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.child.execute(context).distinct()
 
@@ -362,7 +362,7 @@ class OrderByOp(PhysicalOperator):
         rendered = ", ".join(f"?{name}{' desc' if desc else ''}" for name, desc in self.keys)
         return f"OrderBy[{rendered}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.child.execute(context).sort_by(self.keys)
 
@@ -380,7 +380,7 @@ class LimitOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Limit[{self.limit}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.child.execute(context).head(self.limit)
 
@@ -399,7 +399,7 @@ class ExtendOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Extend[?{self.alias} = {self.expression.describe()}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         values = self.expression.evaluate(table, context.decoder)
@@ -423,7 +423,7 @@ class AggregateOp(PhysicalOperator):
         aggs = ", ".join(spec.describe() for spec in self.aggregates)
         return f"Aggregate[by {groups}: {aggs}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         evaluated = {spec.alias: spec.expression.evaluate(table, context.decoder)
@@ -465,7 +465,7 @@ class MaterializedOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Materialized[{self.label}: {self.table.num_rows} rows]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.table
 

@@ -138,9 +138,27 @@ class StarPattern:
 
 
 class PhysicalOperator:
-    """Base class of every physical operator."""
+    """Base class of every physical operator.
 
-    def execute(self, context) -> BindingTable:  # pragma: no cover - interface
+    Subclasses implement :meth:`_execute`; the public :meth:`execute`
+    template wraps it to record the operator's *actual* output cardinality,
+    so a plan that has run once can show estimated vs. actual row counts in
+    :meth:`explain` (the ``EXPLAIN ANALYZE`` of this engine).  The optimizer
+    annotates :attr:`estimated_rows` at planning time.
+    """
+
+    estimated_rows: Optional[float] = None
+    """Optimizer-estimated output rows (``None`` until a plan is annotated)."""
+    actual_rows: Optional[int] = None
+    """Output rows observed by the last execution (``None`` before any run)."""
+
+    def execute(self, context) -> BindingTable:
+        """Run the operator and record its actual output cardinality."""
+        table = self._execute(context)
+        self.actual_rows = int(table.num_rows)
+        return table
+
+    def _execute(self, context) -> BindingTable:  # pragma: no cover - interface
         raise NotImplementedError
 
     def children(self) -> Sequence["PhysicalOperator"]:
@@ -154,9 +172,24 @@ class PhysicalOperator:
 
     # -- plan inspection ---------------------------------------------------------
 
+    def cardinality_note(self) -> str:
+        """``est=… actual=…`` annotation used by :meth:`explain` (may be empty)."""
+        parts = []
+        if self.estimated_rows is not None:
+            parts.append(f"est={self.estimated_rows:.0f}")
+        if self.actual_rows is not None:
+            parts.append(f"actual={self.actual_rows}")
+        return " ".join(parts)
+
     def explain(self, indent: int = 0) -> str:
-        """Indented plan tree, one operator per line."""
-        lines = [("  " * indent) + self.describe()]
+        """Indented plan tree, one operator per line.
+
+        Each line carries the operator's :meth:`describe` string plus, when
+        available, its estimated and last-observed actual row counts.
+        """
+        note = self.cardinality_note()
+        suffix = f"  ({note})" if note else ""
+        lines = [("  " * indent) + self.describe() + suffix]
         for child in self.children():
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)

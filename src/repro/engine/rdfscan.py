@@ -54,7 +54,7 @@ class RDFScanOp(PhysicalOperator):
         suffix = f" ({', '.join(flags)})" if flags else ""
         return f"RDFscan[{self.star.describe()}]{suffix}"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         if context.has_clustered_store() and not self.force_index_path:
             return _scan_clustered(context, self.star, self.use_zone_maps)
@@ -77,7 +77,7 @@ class RDFJoinOp(PhysicalOperator):
     def describe(self) -> str:
         return f"RDFjoin[{self.star.describe()}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
         input_table = self.child.execute(context)

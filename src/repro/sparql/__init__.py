@@ -14,16 +14,26 @@ from .ast import (
     TriplePattern,
     Variable,
 )
+from .optimizer import PlanCache, QueryOptimizer
 from .parser import parse_sparql
-from .planner import DEFAULT_SCHEME, RDFSCAN_SCHEME, PlannerOptions, SparqlPlanner
+from .planner import (
+    DEFAULT_SCHEME,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlannerOptions,
+    SparqlPlanner,
+)
 
 __all__ = [
     "AggregateExpr",
     "ArithmeticExpr",
     "Comparison",
     "DEFAULT_SCHEME",
+    "OPTIMIZED_SCHEME",
     "OrderCondition",
+    "PlanCache",
     "PlannerOptions",
+    "QueryOptimizer",
     "QueryResult",
     "RDFSCAN_SCHEME",
     "SelectQuery",
@@ -37,7 +47,13 @@ __all__ = [
 
 @dataclass
 class QueryResult:
-    """Result of a SPARQL execution: bindings, cost and the plan used."""
+    """Result of a SPARQL execution: bindings, cost and the plan used.
+
+    ``plan`` may be shared between results when the plan cache is active
+    (repeating a query reuses the cached plan object), so its
+    ``actual_rows`` annotations always describe the *most recent* execution,
+    not necessarily the one that produced this result's bindings.
+    """
 
     bindings: BindingTable
     cost: QueryCost
@@ -67,20 +83,66 @@ class QueryResult:
 
 
 class SparqlEngine:
-    """Parse, plan and execute SPARQL against an :class:`ExecutionContext`."""
+    """Parse, plan and execute SPARQL against an :class:`ExecutionContext`.
 
-    def __init__(self, context: ExecutionContext) -> None:
+    An optional :class:`PlanCache` makes repeated queries skip parsing and
+    planning: the cache key is the whitespace-normalized query text plus the
+    planner options.  :class:`~repro.core.RDFStore` wires one cache through
+    its engine and clears it when the data changes.
+    """
+
+    def __init__(self, context: ExecutionContext,
+                 plan_cache: Optional[PlanCache] = None) -> None:
         self.context = context
         self.planner = SparqlPlanner(context)
+        self.plan_cache = plan_cache
 
     def prepare(self, text: str, options: Optional[PlannerOptions] = None) -> Tuple[SelectQuery, PhysicalOperator]:
-        """Parse and plan a query without executing it."""
+        """Parse and plan a query without executing it.
+
+        Args:
+            text: the SPARQL query text.
+            options: plan scheme / optimizer configuration; ``None`` selects
+                the default RDFscan/RDFjoin scheme.
+
+        Returns:
+            The parsed :class:`SelectQuery` and the physical plan root.
+            Both may come from the plan cache when one is attached.
+
+        Raises:
+            ParseError: when the text is not in the supported subset.
+            PlanError: when the options name an unknown plan scheme.
+        """
+        options = options or PlannerOptions()
+        key = None
+        if self.plan_cache is not None:
+            key = PlanCache.make_key(text, options)
+            cached = self.plan_cache.lookup(key)
+            if cached is not None:
+                return cached
         query = parse_sparql(text)
         plan = self.planner.plan(query, options)
+        if self.plan_cache is not None and key is not None:
+            self.plan_cache.insert(key, (query, plan))
         return query, plan
 
     def query(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
-        """Parse, plan and execute a query."""
+        """Parse, plan and execute a query.
+
+        Args:
+            text: the SPARQL query text.
+            options: plan scheme / optimizer configuration (see
+                :class:`PlannerOptions`).
+
+        Returns:
+            A :class:`QueryResult` with OID bindings, measured cost and the
+            executed plan (annotated with estimated and actual row counts).
+
+        Raises:
+            ParseError: when the text is not in the supported subset.
+            PlanError: when the options name an unknown plan scheme.
+            ExecutionError: when the plan requires a store that is not built.
+        """
         parsed, plan = self.prepare(text, options)
         bindings, cost = execute_plan(plan, self.context)
         return QueryResult(bindings=bindings, cost=cost, plan=plan, columns=parsed.output_names())

@@ -1,6 +1,7 @@
 """CS-aware SPARQL planner: lowers a parsed query to a physical plan.
 
-Two plan schemes reproduce the two halves of Table I:
+Three plan schemes are supported; the first two reproduce the two halves of
+Table I, the third adds the cost-based layer on top:
 
 * ``default`` — every triple pattern becomes an index scan against the
   exhaustive permutation store; patterns sharing a subject are combined with
@@ -8,7 +9,16 @@ Two plan schemes reproduce the two halves of Table I:
   connected through other variables with hash joins;
 * ``rdfscan`` — patterns sharing a subject are grouped into star patterns
   and handed to a single RDFscan; stars connected over a discovered foreign
-  key become RDFjoins fed by the upstream star.
+  key become RDFjoins fed by the upstream star; stars are ordered by a
+  constraint-counting heuristic in query order;
+* ``optimized`` — the RDFscan/RDFjoin physical algebra, but star and
+  property orders are chosen by the cost-based
+  :class:`~repro.sparql.optimizer.QueryOptimizer` from estimated
+  cardinalities (CS statistics, column statistics, exact index counts).
+
+``PlannerOptions.optimize`` can also force cost-based ordering on/off for
+any scheme.  Every finished plan is *annotated* with estimated row counts,
+so ``explain()`` shows estimated vs. actual cardinalities after execution.
 
 FILTER comparisons over literals are translated to OID ranges (the loader
 assigns value-ordered literal OIDs) and pushed into the scans.  With zone
@@ -56,24 +66,46 @@ from ..engine import (
 )
 from ..engine.operators import FilterNotEqualOp
 from .ast import AggregateExpr, ArithmeticExpr, Comparison, SelectQuery, TriplePattern, Variable
+from .optimizer import QueryOptimizer
 
 DEFAULT_SCHEME = "default"
 RDFSCAN_SCHEME = "rdfscan"
+OPTIMIZED_SCHEME = "optimized"
+
+_SCHEMES = (DEFAULT_SCHEME, RDFSCAN_SCHEME, OPTIMIZED_SCHEME)
 
 
 @dataclass(frozen=True)
 class PlannerOptions:
-    """Plan-scheme configuration (one row of Table I)."""
+    """Plan-scheme configuration (one row of Table I, plus the optimizer).
+
+    Attributes:
+        scheme: ``default``, ``rdfscan`` or ``optimized``.
+        use_zone_maps: enable zone-map pruning and cross-FK range push-down.
+        force_index_path: see below.
+        optimize: force cost-based join ordering on (``True``) or off
+            (``False``) regardless of scheme; ``None`` (the default) enables
+            it exactly for the ``optimized`` scheme.
+    """
 
     scheme: str = RDFSCAN_SCHEME
     use_zone_maps: bool = False
     force_index_path: bool = False
     """Evaluate RDFscan/RDFjoin over the PSO projections even when a
     clustered store exists (the ParseOrder + RDFscan configuration)."""
+    optimize: Optional[bool] = None
+
+    @property
+    def cost_based(self) -> bool:
+        """Whether cost-based join ordering is in effect for these options."""
+        if self.optimize is None:
+            return self.scheme == OPTIMIZED_SCHEME
+        return self.optimize
 
     def describe(self) -> str:
         return (f"scheme={self.scheme} zonemaps={'yes' if self.use_zone_maps else 'no'}"
-                f"{' index-path' if self.force_index_path else ''}")
+                f"{' index-path' if self.force_index_path else ''}"
+                f" optimize={'yes' if self.cost_based else 'no'}")
 
 
 @dataclass
@@ -91,12 +123,33 @@ class SparqlPlanner:
 
     def __init__(self, context: ExecutionContext) -> None:
         self.context = context
+        self._optimizer_instance: Optional[QueryOptimizer] = None
+
+    def _optimizer(self) -> QueryOptimizer:
+        """The (lazily created) cost-based optimizer shared across queries."""
+        if self._optimizer_instance is None:
+            self._optimizer_instance = QueryOptimizer(self.context)
+        return self._optimizer_instance
 
     # -- public entry point -----------------------------------------------------
 
     def plan(self, query: SelectQuery, options: PlannerOptions | None = None) -> PhysicalOperator:
+        """Lower a parsed query to an executable physical plan.
+
+        Args:
+            query: the parsed :class:`SelectQuery`.
+            options: plan scheme and optimizer configuration (defaults to
+                the RDFscan/RDFjoin scheme without zone maps).
+
+        Returns:
+            The root :class:`PhysicalOperator`, annotated with estimated
+            row counts.
+
+        Raises:
+            PlanError: when the options name an unknown plan scheme.
+        """
         options = options or PlannerOptions()
-        if options.scheme not in (DEFAULT_SCHEME, RDFSCAN_SCHEME):
+        if options.scheme not in _SCHEMES:
             raise PlanError(f"unknown plan scheme {options.scheme!r}")
 
         constraints, residual_filters = self._translate_filters(query)
@@ -107,10 +160,12 @@ class SparqlPlanner:
         if stars is None:
             return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (unknown term)")
 
-        if options.scheme == RDFSCAN_SCHEME:
-            root = self._plan_rdfscan(stars, loose_patterns, constraints, options)
-        else:
+        if options.scheme == DEFAULT_SCHEME:
             root = self._plan_default(stars, loose_patterns, constraints, options)
+        else:
+            # rdfscan and optimized share the RDFscan/RDFjoin physical algebra;
+            # they differ in how star join order is chosen
+            root = self._plan_rdfscan(stars, loose_patterns, constraints, options)
 
         if root is None:
             return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (no patterns)")
@@ -118,6 +173,7 @@ class SparqlPlanner:
         root = self._apply_not_equal_constraints(root, query, constraints)
         root = self._apply_residual_filters(root, residual_filters)
         root = self._apply_solution_modifiers(root, query)
+        self._optimizer().annotate(root)
         return root
 
     def _apply_not_equal_constraints(self, root: PhysicalOperator, query: SelectQuery,
@@ -242,7 +298,10 @@ class SparqlPlanner:
         if options.use_zone_maps and self.context.has_clustered_store() and not options.force_index_path:
             self._apply_zone_map_pushdown(star_patterns)
 
-        ordered = self._order_stars(star_patterns)
+        if options.cost_based:
+            ordered = self._optimizer().order_stars(star_patterns)
+        else:
+            ordered = self._order_stars(star_patterns)
         root: Optional[PhysicalOperator] = None
         planned_vars: set[str] = set()
         for star in ordered:
@@ -396,10 +455,19 @@ class SparqlPlanner:
                 pushed[subject_var] = star
             self._apply_zone_map_pushdown(pushed)
 
-        ordered_subjects = sorted(
-            stars,
-            key=lambda subject: -self._default_star_score(stars[subject], constraints),
-        )
+        if options.cost_based:
+            ranking: Dict[str, StarPattern] = {}
+            for subject_var, members in stars.items():
+                star = pushed.get(subject_var) or self._build_star(subject_var, members, constraints)
+                if star is None:
+                    return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                ranking[subject_var] = star
+            ordered_subjects = [star.subject_var for star in self._optimizer().order_stars(ranking)]
+        else:
+            ordered_subjects = sorted(
+                stars,
+                key=lambda subject: -self._default_star_score(stars[subject], constraints),
+            )
         for subject_var in ordered_subjects:
             members = stars[subject_var]
             star_plan = self._plan_default_star(subject_var, members, constraints, options,
@@ -453,7 +521,28 @@ class SparqlPlanner:
                 return 1
             return 2
 
-        ordered = sorted(members, key=selectivity_rank)
+        def estimated_rows(member) -> float:
+            predicate_oid, pattern = member
+            object_oid: Optional[int] = None
+            oid_range: Optional[OidRange] = None
+            if not isinstance(pattern.object, Variable):
+                object_oid = self.context.encoder.term_oid(pattern.object)
+                if object_oid is None:
+                    return 0.0
+            else:
+                constraint = constraints.get(pattern.object.name)
+                if constraint is not None:
+                    if constraint.equal_oid is not None:
+                        object_oid = constraint.equal_oid
+                    elif not constraint.oid_range.is_unbounded():
+                        oid_range = constraint.oid_range
+            return self._optimizer().pattern_cardinality(predicate_oid, object_oid, oid_range)
+
+        if options.cost_based:
+            # most selective pattern first, by estimated cardinality
+            ordered = sorted(members, key=estimated_rows)
+        else:
+            ordered = sorted(members, key=selectivity_rank)
         subject_range = self._default_subject_range(subject_var, members, constraints, options)
         if pushed_star is not None and pushed_star.subject_range is not None:
             subject_range = pushed_star.subject_range if subject_range is None \

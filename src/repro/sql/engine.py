@@ -88,12 +88,34 @@ class SqlEngine:
     # -- public API -----------------------------------------------------------------
 
     def query(self, text: str) -> SqlResult:
+        """Parse, plan and execute one SQL SELECT statement.
+
+        Args:
+            text: a SELECT over the catalog's emergent tables (joins over
+                discovered foreign keys, WHERE comparisons, GROUP BY,
+                ORDER BY, LIMIT).
+
+        Returns:
+            A :class:`SqlResult` with the output columns, OID bindings,
+            measured cost and the executed physical plan.
+
+        Raises:
+            ParseError: when the SQL text cannot be parsed.
+            SchemaError: when the query references unknown tables, columns
+                or joins without a discovered foreign key.
+        """
         parsed = parse_sql(text)
         plan, columns = self._plan(parsed)
         bindings, cost = execute_plan(plan, self.context)
         return SqlResult(columns=columns, bindings=bindings, cost=cost, plan=plan)
 
     def explain(self, text: str) -> str:
+        """Return the indented physical plan of a SQL statement (no run).
+
+        Raises:
+            ParseError: when the SQL text cannot be parsed.
+            SchemaError: when the query references unknown tables/columns.
+        """
         parsed = parse_sql(text)
         plan, _columns = self._plan(parsed)
         return plan.explain()
@@ -409,7 +431,7 @@ class _RenameOp(PhysicalOperator):
         rendered = ", ".join(f"{old}->{new}" for old, new in self.mapping.items())
         return f"Rename[{rendered}]"
 
-    def execute(self, context: ExecutionContext) -> BindingTable:
+    def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
         return self.child.execute(context).rename(self.mapping)
 

@@ -1,0 +1,305 @@
+"""Tests for the cost-based optimizer: estimator sanity, join-order result
+equivalence across plan schemes, plan annotation and the plan cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DEFAULT_SCHEME,
+    IRI,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlannerOptions,
+    RDFStore,
+    StoreConfig,
+)
+from repro.bench import DirtyConfig, generate_dirty
+from repro.columnar import CardinalityEstimator
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.engine import PatternTerm, StarPattern, StarProperty
+from repro.errors import PlanError
+from repro.sparql import PlanCache, QueryOptimizer
+
+EX = "http://example.org/"
+DBLP_VOC = "http://example.org/dblp/schema/"
+
+ALL_SCHEMES = (DEFAULT_SCHEME, RDFSCAN_SCHEME, OPTIMIZED_SCHEME)
+
+
+def _small_config() -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+
+
+@pytest.fixture(scope="module")
+def dirty_store():
+    """A clustered store over deliberately messy data (noise + chaos)."""
+    dataset = generate_dirty(DirtyConfig(classes=3, subjects_per_class=40,
+                                         chaotic_subjects=10))
+    return RDFStore.build(dataset.triples, config=_small_config())
+
+
+def assert_schemes_equivalent(store, query: str, use_zone_maps: bool = False):
+    """All plan schemes (and forced optimize on/off) must agree on results."""
+    option_sets = [PlannerOptions(scheme=scheme, use_zone_maps=use_zone_maps)
+                   for scheme in ALL_SCHEMES]
+    option_sets.append(PlannerOptions(scheme=DEFAULT_SCHEME, optimize=True,
+                                      use_zone_maps=use_zone_maps))
+    option_sets.append(PlannerOptions(scheme=OPTIMIZED_SCHEME, optimize=False,
+                                      use_zone_maps=use_zone_maps))
+    results = [sorted(store.sparql(query, options).rows()) for options in option_sets]
+    reference = results[0]
+    assert reference, f"reference scheme returned no rows for {query!r}"
+    for options, rows in zip(option_sets[1:], results[1:]):
+        assert rows == reference, f"{options.describe()} diverged on {query!r}"
+
+
+class TestJoinOrderEquivalence:
+    def test_book_star_join(self, book_store):
+        assert_schemes_equivalent(book_store, f"""
+            SELECT ?b ?a ?y WHERE {{
+              ?b <{EX}has_author> ?a .
+              ?b <{EX}in_year> ?y .
+              ?a <{EX}name> ?n .
+            }}""")
+
+    def test_book_range_filter(self, book_store):
+        assert_schemes_equivalent(book_store, f"""
+            SELECT ?b ?y WHERE {{
+              ?b <{EX}in_year> ?y .
+              ?b <{EX}isbn_no> ?i .
+              FILTER (?y >= "1995"^^<http://www.w3.org/2001/XMLSchema#integer>)
+            }}""", use_zone_maps=True)
+
+    def test_dblp_star_fk_hop(self, dblp_store):
+        assert_schemes_equivalent(dblp_store, f"""
+            SELECT ?p ?t ?cn WHERE {{
+              ?p <{DBLP_VOC}creator> ?a .
+              ?p <{DBLP_VOC}title> ?t .
+              ?p <{DBLP_VOC}partOf> ?c .
+              ?c <{DBLP_VOC}title> ?cn .
+              ?a <{DBLP_VOC}name> ?n .
+            }}""")
+
+    def test_dblp_constant_object(self, dblp_store):
+        assert_schemes_equivalent(dblp_store, f"""
+            SELECT ?p ?t WHERE {{
+              ?p <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <{DBLP_VOC}Inproceedings> .
+              ?p <{DBLP_VOC}title> ?t .
+            }}""")
+
+    def test_dirty_data_equivalence(self, dirty_store):
+        voc = "http://example.org/crawl/vocab/"
+        assert_schemes_equivalent(dirty_store, f"""
+            SELECT ?s ?v WHERE {{
+              ?s <{voc}c0_p0> ?v .
+              ?s <{voc}c0_p1> ?w .
+            }}""")
+
+    def test_unknown_scheme_rejected(self, book_store):
+        with pytest.raises(PlanError):
+            book_store.sparql("SELECT ?s WHERE { ?s ?p ?o . }",
+                              PlannerOptions(scheme="bogus"))
+
+
+class TestCardinalityEstimator:
+    @pytest.fixture()
+    def estimator(self, book_store) -> CardinalityEstimator:
+        context = book_store.context()
+        return CardinalityEstimator(schema=context.schema,
+                                    index_store=context.index_store,
+                                    clustered_store=context.clustered_store)
+
+    def test_pattern_count_exact_with_index(self, book_store, estimator):
+        predicate = book_store.dictionary.lookup_term(IRI(f"{EX}has_author"))
+        exact = book_store.index_store.count_pattern(p=predicate)
+        assert estimator.pattern_cardinality(p=predicate) == pytest.approx(exact)
+
+    def test_constant_object_pattern_exact(self, book_store, estimator):
+        predicate = book_store.dictionary.lookup_term(IRI(f"{EX}has_author"))
+        author = book_store.dictionary.lookup_term(IRI(f"{EX}author/0"))
+        exact = book_store.index_store.count_pattern(p=predicate, o=author)
+        assert estimator.pattern_cardinality(p=predicate, o=author) == pytest.approx(exact)
+
+    def test_star_estimate_within_bounds(self, book_store, estimator):
+        d = book_store.dictionary
+        star = StarPattern(subject_var="b", properties=[
+            StarProperty(predicate_oid=d.lookup_term(IRI(f"{EX}has_author")),
+                         object_term=PatternTerm.variable("a")),
+            StarProperty(predicate_oid=d.lookup_term(IRI(f"{EX}in_year")),
+                         object_term=PatternTerm.variable("y")),
+        ])
+        subjects = estimator.star_subject_cardinality(star)
+        rows = estimator.star_cardinality(star)
+        assert 0.0 < subjects <= estimator.total_subjects()
+        assert rows >= subjects * 0.99  # fan-out never shrinks the star
+        # every book has both properties: the estimate must be close to 30
+        assert subjects == pytest.approx(30, rel=0.35)
+
+    def test_distinct_counts_bounded(self, book_store, estimator):
+        predicate = book_store.dictionary.lookup_term(IRI(f"{EX}has_author"))
+        total = estimator.predicate_count(predicate)
+        assert 1.0 <= estimator.distinct_objects(predicate) <= total
+        assert 1.0 <= estimator.distinct_subjects(predicate) <= total
+
+    def test_join_cardinality_formula(self):
+        assert CardinalityEstimator.join_cardinality(10, 20, 10, 5) == pytest.approx(20.0)
+        assert CardinalityEstimator.join_cardinality(0, 20, 1, 1) == 0.0
+
+    def test_degrades_without_any_source(self):
+        empty = CardinalityEstimator()
+        assert empty.pattern_cardinality(p=42) == 0.0
+        assert empty.total_triples() == 0.0
+
+
+class TestJoinOrdering:
+    def test_selective_star_ordered_first(self, book_store):
+        d = book_store.dictionary
+        books = StarPattern(subject_var="b", properties=[
+            StarProperty(predicate_oid=d.lookup_term(IRI(f"{EX}has_author")),
+                         object_term=PatternTerm.variable("a")),
+            StarProperty(predicate_oid=d.lookup_term(IRI(f"{EX}isbn_no")),
+                         object_term=PatternTerm.variable("i")),
+        ])
+        authors = StarPattern(subject_var="a", properties=[
+            StarProperty(predicate_oid=d.lookup_term(IRI(f"{EX}name")),
+                         object_term=PatternTerm.variable("n")),
+        ])
+        optimizer = QueryOptimizer(book_store.context())
+        ordered = optimizer.order_stars({"b": books, "a": authors})
+        # 5 authors vs 30 books: the author star is the cheaper start
+        assert [star.subject_var for star in ordered] == ["a", "b"]
+
+    def test_plans_are_annotated(self, book_store):
+        plan = book_store.sparql_plan(
+            f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}",
+            PlannerOptions(scheme=OPTIMIZED_SCHEME))
+        assert plan.estimated_rows is not None
+
+        def all_annotated(op):
+            return op.estimated_rows is not None and all(
+                all_annotated(child) for child in op.children())
+        assert all_annotated(plan)
+
+    def test_actual_rows_recorded_after_execution(self, book_store):
+        result = book_store.sparql(f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}")
+        assert result.plan.actual_rows == len(result)
+
+    def test_explain_shows_estimates_and_actuals(self, book_store):
+        query = f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . }}"
+        text = book_store.explain(query, PlannerOptions(scheme=OPTIMIZED_SCHEME))
+        assert "est=" in text and "scheme=optimized" in text
+        analyzed = book_store.explain(query, PlannerOptions(scheme=OPTIMIZED_SCHEME),
+                                      analyze=True)
+        assert "actual=" in analyzed
+
+
+class TestPlanCache:
+    def test_lru_mechanics(self):
+        cache = PlanCache(capacity=2)
+        cache.insert(("a",), 1)
+        cache.insert(("b",), 2)
+        assert cache.lookup(("a",)) == 1
+        cache.insert(("c",), 3)  # evicts ("b",), the least recently used
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == 1
+        assert cache.stats()["evictions"] == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.stats()["hits"] == 0
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PlanCache(capacity=0)
+        cache.insert(("a",), 1)
+        assert cache.lookup(("a",)) is None
+
+    def test_key_normalizes_whitespace(self):
+        options = PlannerOptions()
+        key1 = PlanCache.make_key("SELECT ?s WHERE { ?s ?p ?o . }", options)
+        key2 = PlanCache.make_key("SELECT ?s\n  WHERE {\n ?s ?p ?o . }", options)
+        assert key1 == key2
+        other = PlanCache.make_key("SELECT ?s WHERE { ?s ?p ?o . }",
+                                   PlannerOptions(scheme=DEFAULT_SCHEME))
+        assert other != key1
+
+    def test_key_preserves_whitespace_inside_literals(self):
+        options = PlannerOptions()
+        single = PlanCache.make_key('SELECT ?s WHERE { ?s <p> "a b" . }', options)
+        double = PlanCache.make_key('SELECT ?s WHERE { ?s <p> "a  b" . }', options)
+        assert single != double  # whitespace inside a literal is data
+
+    def test_distinct_literals_not_conflated_by_cache(self):
+        from repro import Literal, Triple
+        s1, s2 = IRI(f"{EX}s1"), IRI(f"{EX}s2")
+        pred = IRI(f"{EX}tag")
+        store = RDFStore()
+        store.load([Triple(s1, pred, Literal("a b")), Triple(s2, pred, Literal("a  b")),
+                    Triple(s1, IRI(f"{EX}x"), Literal("1")), Triple(s2, IRI(f"{EX}x"), Literal("1"))])
+        store.discover_schema()
+        store.build_indexes()
+        r1 = store.decode_rows(store.sparql(f'SELECT ?s WHERE {{ ?s <{EX}tag> "a b" . }}'))
+        r2 = store.decode_rows(store.sparql(f'SELECT ?s WHERE {{ ?s <{EX}tag> "a  b" . }}'))
+        assert r1 == [(f"{EX}s1",)]
+        assert r2 == [(f"{EX}s2",)]
+
+    def test_store_cache_hits_and_plan_identity(self):
+        store = RDFStore.build(_book_triples(), config=_small_config())
+        query = f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}"
+        first = store.sparql(query)
+        assert store.plan_cache_stats()["misses"] == 1
+        second = store.sparql("  " + query.replace("WHERE", "\nWHERE"))
+        assert store.plan_cache_stats()["hits"] == 1
+        assert first.plan is second.plan  # parse + plan were skipped entirely
+        assert sorted(first.rows()) == sorted(second.rows())
+
+    def test_different_options_planned_separately(self):
+        store = RDFStore.build(_book_triples(), config=_small_config())
+        query = f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}"
+        store.sparql(query, PlannerOptions(scheme=DEFAULT_SCHEME))
+        store.sparql(query, PlannerOptions(scheme=OPTIMIZED_SCHEME))
+        stats = store.plan_cache_stats()
+        assert stats["size"] == 2 and stats["hits"] == 0
+
+    def test_invalidation_on_reload_and_recluster(self):
+        store = RDFStore.build(_book_triples(), config=_small_config())
+        query = f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}"
+        store.sparql(query)
+        store.sparql(query)
+        assert store.plan_cache_stats()["hits"] == 1
+        store.cluster()  # physical rebuild drops every cached plan
+        assert store.plan_cache_stats() == {"size": 0, "capacity": 128, "hits": 0,
+                                            "misses": 0, "evictions": 0}
+        result = store.sparql(query)  # replans against the new context
+        assert store.plan_cache_stats()["misses"] == 1
+        assert len(result) == 30
+
+    def test_cache_disabled_by_config(self):
+        config = _small_config()
+        config.plan_cache_size = 0
+        store = RDFStore.build(_book_triples(), config=config)
+        query = f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}"
+        first = store.sparql(query)
+        second = store.sparql(query)
+        assert first.plan is not second.plan
+
+
+def _book_triples():
+    """A private copy of the conftest book graph (importing `conftest` is
+    ambiguous when tests and benchmarks run in one pytest invocation)."""
+    from repro import Literal, Triple
+    from repro.model.terms import RDF_TYPE, XSD_INTEGER
+
+    triples = []
+    type_pred = IRI(RDF_TYPE)
+    for i in range(5):
+        author = IRI(f"{EX}author/{i}")
+        triples.append(Triple(author, type_pred, IRI(f"{EX}Person")))
+        triples.append(Triple(author, IRI(f"{EX}name"), Literal(f"Author {i}")))
+    for i in range(30):
+        book = IRI(f"{EX}book/{i}")
+        triples.append(Triple(book, type_pred, IRI(f"{EX}Book")))
+        triples.append(Triple(book, IRI(f"{EX}has_author"), IRI(f"{EX}author/{i % 5}")))
+        triples.append(Triple(book, IRI(f"{EX}in_year"),
+                              Literal(str(1990 + i % 15), datatype=XSD_INTEGER)))
+        triples.append(Triple(book, IRI(f"{EX}isbn_no"), Literal(f"isbn-{i:04d}")))
+    return triples

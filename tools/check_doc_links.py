@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's Markdown files resolve.
+
+Scans every tracked ``*.md`` file for inline links and verifies that
+relative targets exist on disk (external ``http(s)``/``mailto`` links and
+pure in-page anchors are skipped). Exits non-zero listing every broken
+link — used by CI's docs job and runnable locally:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", ".github", "node_modules", "__pycache__", ".pytest_cache"}
+
+
+def markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            yield path
+
+
+def check_file(path: Path, root: Path) -> list:
+    broken = []
+    for match in LINK_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target = target.split("#", 1)[0]  # drop in-page anchors
+        if not target:
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            broken.append((path.relative_to(root), match.group(1)))
+    return broken
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"broken links in {checked} markdown files:")
+        for source, target in broken:
+            print(f"  {source}: {target}")
+        return 1
+    print(f"ok: all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
