@@ -1,0 +1,134 @@
+"""Figure 6 (this repo's extension): the write path.
+
+Measures the three costs the update subsystem introduces on a DBLP-like
+store:
+
+* **insert throughput** — ``INSERT DATA`` batches routed into the delta
+  store (triples/second, no rebuild);
+* **post-update query latency** — star-query latency while the MergeScan
+  layer folds ``base ∪ delta − tombstones`` into every access path,
+  compared against the pre-update latency;
+* **compaction cost** — one ``compact()`` call folding the whole delta into
+  the clustered base (the explicit heavy step), and the query latency
+  recovered afterwards.
+
+Run in smoke mode (tiny sizes, one round) with ``REPRO_BENCH_SMOKE=1`` —
+CI does this on every push.  Results land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import RDFStore, StoreConfig
+from repro.bench import DblpConfig, generate_dblp
+from repro.bench.dblp import CLASS_INPROCEEDINGS, DBLP, P_CREATOR, P_PART_OF, P_TITLE, VOC
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+PAPERS = 80 if SMOKE else 800
+INSERT_BATCHES = 3 if SMOKE else 20
+BATCH_SUBJECTS = 5 if SMOKE else 25
+ROUNDS = 1 if SMOKE else 5
+
+STAR_QUERY = (
+    f"SELECT ?p ?t ?c WHERE {{ ?p <{P_TITLE}> ?t . ?p <{P_PART_OF}> ?c . "
+    f"?p <{P_CREATOR}> ?a . }}"
+)
+
+
+def _build_store() -> RDFStore:
+    config = StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+    triples = generate_dblp(DblpConfig(papers=PAPERS, conferences=8, authors=PAPERS // 4))
+    return RDFStore.build(triples, config=config)
+
+
+def _insert_batch(batch: int) -> str:
+    lines = []
+    for i in range(BATCH_SUBJECTS):
+        paper = f"{DBLP}inproc/new{batch}_{i}"
+        lines.append(
+            f"<{paper}> a <{CLASS_INPROCEEDINGS}> ; "
+            f"<{P_CREATOR}> <{DBLP}author/{i % 5}> ; "
+            f"<{P_TITLE}> \"New paper {batch}-{i}\" ; "
+            f"<{P_PART_OF}> <{DBLP}conf/{batch % 8}> . "
+        )
+    return "INSERT DATA { " + "\n".join(lines) + " }"
+
+
+def _time_query(store: RDFStore, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = store.sparql(STAR_QUERY)
+        best = min(best, time.perf_counter() - started)
+    assert result is not None and len(result) > 0
+    return best
+
+
+@pytest.fixture(scope="module")
+def report_lines():
+    lines = ["Figure 6 — write path: insert throughput, merged-scan latency, compaction", ""]
+    yield lines
+
+
+def test_insert_throughput(report_lines):
+    store = _build_store()
+    baseline = _time_query(store)
+    total_triples = 0
+    started = time.perf_counter()
+    for batch in range(INSERT_BATCHES):
+        result = store.update(_insert_batch(batch))
+        total_triples += result.inserted
+    elapsed = time.perf_counter() - started
+    assert total_triples == INSERT_BATCHES * BATCH_SUBJECTS * 4
+    assert store.has_pending_updates()
+    throughput = total_triples / elapsed if elapsed else float("inf")
+    report_lines.append(
+        f"insert throughput: {total_triples} triples in {elapsed * 1e3:.1f} ms "
+        f"({throughput:,.0f} triples/s), baseline query {baseline * 1e3:.2f} ms")
+    # writes must never trigger an implicit rebuild
+    assert store.triple_count() < store.live_triple_count()
+
+
+def test_post_update_query_latency(report_lines):
+    store = _build_store()
+    before = _time_query(store)
+    rows_before = len(store.sparql(STAR_QUERY))
+    for batch in range(INSERT_BATCHES):
+        store.update(_insert_batch(batch))
+    after = _time_query(store)
+    rows_after = len(store.sparql(STAR_QUERY))
+    assert rows_after > rows_before  # merged scans see the delta
+    report_lines.append(
+        f"query latency: {before * 1e3:.2f} ms clean -> {after * 1e3:.2f} ms "
+        f"with {store.delta.insert_count()} pending inserts "
+        f"({rows_after - rows_before} extra rows)")
+
+
+def test_compaction_cost_and_recovery(report_lines, results_dir):
+    store = _build_store()
+    for batch in range(INSERT_BATCHES):
+        store.update(_insert_batch(batch))
+    store.update(f"DELETE WHERE {{ <{DBLP}inproc/0> ?p ?o . }}")
+    pending = store.delta.insert_count() + store.delta.tombstone_count()
+    merged_latency = _time_query(store)
+    started = time.perf_counter()
+    report = store.compact()
+    compaction_seconds = time.perf_counter() - started
+    assert not store.has_pending_updates()
+    assert report.merged_inserts == INSERT_BATCHES * BATCH_SUBJECTS * 4
+    compacted_latency = _time_query(store)
+    report_lines.append(
+        f"compaction: {pending} pending writes folded in {compaction_seconds * 1e3:.1f} ms "
+        f"({report.subjects_assigned} subjects joined a CS, "
+        f"{report.subjects_leftover} leftover); query {merged_latency * 1e3:.2f} ms "
+        f"merged -> {compacted_latency * 1e3:.2f} ms compacted")
+    out = results_dir / "fig6_updates.txt"
+    out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")

@@ -36,13 +36,16 @@ from .sparql import (
     PlanCache,
     PlannerOptions,
 )
+from .updates import CompactionReport, DeltaStore, UpdateResult
 
 __version__ = "0.1.0"
 
 __all__ = [
     "BNode",
     "BenchmarkError",
+    "CompactionReport",
     "DEFAULT_SCHEME",
+    "DeltaStore",
     "DictionaryError",
     "DiscoveryConfig",
     "EmergentSchema",
@@ -63,5 +66,6 @@ __all__ = [
     "StorageError",
     "StoreConfig",
     "Triple",
+    "UpdateResult",
     "__version__",
 ]

@@ -59,6 +59,18 @@ class BufferPool:
         """Whether a specific page is cached (does not touch LRU order)."""
         return (segment_id, page) in self._pages
 
+    def drop_segments(self, prefix: str) -> int:
+        """Evict every cached page of segments whose id starts with ``prefix``.
+
+        Used when a structure is rebuilt under new segment names (e.g. the
+        delta store's per-version index): superseded pages would otherwise
+        linger, counting toward capacity and skewing cold/hot accounting.
+        """
+        doomed = [key for key in self._pages if key[0].startswith(prefix)]
+        for key in doomed:
+            del self._pages[key]
+        return len(doomed)
+
     def pages_for(self, num_values: int) -> int:
         """Number of pages needed to hold ``num_values`` values."""
         if num_values <= 0:

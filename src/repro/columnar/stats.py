@@ -209,10 +209,16 @@ class CardinalityEstimator:
     module docstring) so this class has no dependency on the engine layer.
     """
 
-    def __init__(self, schema=None, index_store=None, clustered_store=None) -> None:
+    def __init__(self, schema=None, index_store=None, clustered_store=None,
+                 delta=None) -> None:
         self.schema = schema
         self.index_store = index_store
         self.clustered_store = clustered_store
+        self.delta = delta
+        """Optional pending-write overlay (duck-typed
+        :class:`repro.updates.DeltaStore`).  Base statistics describe the
+        immutable structures; the estimator adds the delta's insert and
+        tombstone counts on top so the optimizer prices merged scans."""
         self._column_stats_cache: Dict[Tuple[int, int], Optional[ColumnStats]] = {}
         self._subject_stats_cache: Dict[int, Optional[ColumnStats]] = {}
         self._distinct_objects_cache: Dict[int, float] = {}
@@ -223,12 +229,38 @@ class CardinalityEstimator:
     # -- base statistics ---------------------------------------------------------
 
     def total_triples(self) -> float:
-        """Total triple count (0 when no source is attached)."""
+        """Total live triple count (0 when no source is attached)."""
+        base = 0.0
         if self.index_store is not None:
-            return float(len(self.index_store))
-        if self.schema is not None:
-            return float(self.schema.coverage.total_triples)
-        return 0.0
+            base = float(len(self.index_store))
+        elif self.schema is not None:
+            base = float(self.schema.coverage.total_triples)
+        return max(0.0, base + self._delta_size())
+
+    def _delta_size(self) -> float:
+        """Net pending-write triple count (inserts minus tombstones)."""
+        if self.delta is None or self.delta.is_empty():
+            return 0.0
+        return float(self.delta.insert_count() - self.delta.tombstone_count())
+
+    def _delta_pattern_adjustment(self, s: Optional[int], p: Optional[int],
+                                  o: Optional[int]) -> float:
+        """Net delta rows matching one pattern (exact: the delta is small)."""
+        if self.delta is None or self.delta.is_empty():
+            return 0.0
+        added = float(self.delta.index().count_pattern(s=s, p=p, o=o))
+        removed = 0.0
+        tombs = self.delta.tombstone_matrix()
+        if tombs.size:
+            mask = np.ones(tombs.shape[0], dtype=bool)
+            if s is not None:
+                mask &= tombs[:, 0] == s
+            if p is not None:
+                mask &= tombs[:, 1] == p
+            if o is not None:
+                mask &= tombs[:, 2] == o
+            removed = float(mask.sum())
+        return added - removed
 
     def total_subjects(self) -> float:
         """Total distinct-subject count known to the schema (or a bound)."""
@@ -324,9 +356,13 @@ class CardinalityEstimator:
         falls back to schema predicate counts scaled by default
         selectivities.
         """
+        # the pending-delta contribution is pattern-exact but range-agnostic;
+        # it is added after the base refinements so an exact base range count
+        # cannot overwrite it (merged scans must never be priced at zero)
+        delta_adjustment = self._delta_pattern_adjustment(s, p, o)
         if self.index_store is not None:
             base = float(self.index_store.count_pattern(s=s, p=p, o=o))
-            if base == 0.0:
+            if base == 0.0 and delta_adjustment <= 0.0:
                 return 0.0
             if p is not None and s is None and o is None and _is_bounded(object_range):
                 exact = self._range_count(p, object_range, "o")
@@ -342,8 +378,12 @@ class CardinalityEstimator:
                 base *= DEFAULT_RANGE_SELECTIVITY
             if _is_bounded(subject_range):
                 base *= DEFAULT_RANGE_SELECTIVITY
-            return base
-        base = self.predicate_count(p) if p is not None else self.total_triples()
+            return max(0.0, base + delta_adjustment)
+        if p is not None:
+            base = self.predicate_count(p)
+        else:
+            base = self.total_triples()
+            delta_adjustment = 0.0  # total_triples() already counts the delta
         if s is not None:
             base /= max(self.total_subjects(), 1.0)
         if o is not None:
@@ -352,7 +392,7 @@ class CardinalityEstimator:
             base *= DEFAULT_RANGE_SELECTIVITY
         if _is_bounded(subject_range):
             base *= DEFAULT_RANGE_SELECTIVITY
-        return base
+        return max(0.0, base + delta_adjustment)
 
     def _range_count(self, predicate_oid: int, oid_range, component: str) -> Optional[float]:
         """Exact rows of predicate whose S/O component falls in the range."""

@@ -16,6 +16,13 @@ exposes cold/hot buffer-pool control so experiments can reproduce the
 cold-vs-hot columns of Table I, an LRU plan cache so repeated queries skip
 parse + plan, and :meth:`RDFStore.explain` to inspect plans with estimated
 vs. actual cardinalities.
+
+The store is writable after building: :meth:`RDFStore.update` executes
+SPARQL Update requests (``INSERT DATA`` / ``DELETE DATA`` / ``DELETE
+WHERE``) against a :class:`~repro.updates.DeltaStore` overlay, every access
+path merges ``base ∪ delta − tombstones``, and :meth:`RDFStore.compact`
+folds the accumulated delta back into the clustered base storage with
+incremental emergent-schema maintenance (see ``docs/updates.md``).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from ..engine import ExecutionContext, execute_plan
 from ..errors import StorageError
 from ..model import Graph, IRI, TermDictionary, Triple
 from ..rio import parse_rdf
-from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine
+from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine, parse_update
 from ..sql import Catalog, SqlEngine, SqlResult
 from ..storage import (
     ClusteredStore,
@@ -40,6 +47,13 @@ from ..storage import (
     cluster_subjects,
     encode_graph,
     value_order_literals,
+)
+from ..updates import (
+    CompactionReport,
+    DeltaStore,
+    UpdateApplier,
+    UpdateResult,
+    compact_store,
 )
 
 
@@ -69,6 +83,23 @@ class StoreConfig:
     cost_model: CostModel = field(default_factory=CostModel)
     plan_cache_size: int = 128
 
+    def __post_init__(self) -> None:
+        """Validate eagerly so misconfiguration fails at construction, not
+        deep inside ``build()``."""
+        if not isinstance(self.buffer_pool_pages, int) or self.buffer_pool_pages < 1:
+            raise StorageError(
+                f"buffer_pool_pages must be a positive integer, got {self.buffer_pool_pages!r}")
+        if not isinstance(self.page_size, int) or self.page_size < 1:
+            raise StorageError(
+                f"page_size must be a positive integer, got {self.page_size!r}")
+        if not isinstance(self.zone_size, int) or self.zone_size < 1:
+            raise StorageError(
+                f"zone_size must be a positive integer, got {self.zone_size!r}")
+        if not isinstance(self.plan_cache_size, int) or self.plan_cache_size < 0:
+            raise StorageError(
+                f"plan_cache_size must be a non-negative integer (0 disables caching), "
+                f"got {self.plan_cache_size!r}")
+
 
 class RDFStore:
     """Self-organizing RDF store: triples in, SQL/SPARQL out."""
@@ -85,6 +116,7 @@ class RDFStore:
         self.clustering_plan: Optional[ClusteringPlan] = None
         self.catalog: Optional[Catalog] = None
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
+        self.delta = DeltaStore(schema=None, pool=self.pool)
         self._context: Optional[ExecutionContext] = None
         self._sparql_engine: Optional[SparqlEngine] = None
         self._clustered = False
@@ -143,7 +175,12 @@ class RDFStore:
 
         Raises:
             ParseError: when RDF text cannot be parsed.
+            StorageError: when uncompacted updates are pending — reloading
+                re-encodes OIDs and would silently drop acknowledged writes;
+                call :meth:`compact` first.
         """
+        if self.has_pending_updates():
+            raise StorageError("cannot load with pending updates; call compact() first")
         if isinstance(source, str):
             triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
         else:
@@ -170,6 +207,7 @@ class RDFStore:
         self.schema = discover_schema(self.matrix, self.dictionary,
                                       config or self.config.discovery)
         self.catalog = Catalog(self.schema, self.dictionary)
+        self.delta.attach_schema(self.schema)
         self._invalidate(keep_schema=True)
         return self.schema
 
@@ -187,8 +225,13 @@ class RDFStore:
             The :class:`ClusteringPlan` describing the OID re-assignment.
 
         Raises:
-            StorageError: when the schema has not been discovered yet.
+            StorageError: when the schema has not been discovered yet, or
+                when uncompacted updates are pending (clustering remaps
+                subject OIDs, which would invalidate the delta — call
+                :meth:`compact` first).
         """
+        if self.has_pending_updates():
+            raise StorageError("cannot re-cluster with pending updates; call compact() first")
         schema = self.require_schema()
         resolved = dict(sort_keys or {})
         if sort_key_names:
@@ -245,6 +288,10 @@ class RDFStore:
         if not keep_schema:
             self.schema = None
             self.catalog = None
+            # a full reload re-encodes (and value-reorders) OIDs: any pending
+            # delta would reference stale OIDs, so it is dropped
+            self.delta.clear()
+            self.delta.attach_schema(None)
 
     # -- accessors --------------------------------------------------------------------
 
@@ -263,7 +310,13 @@ class RDFStore:
         return self._clustered
 
     def triple_count(self) -> int:
+        """Triples in the base store (excluding pending writes)."""
         return int(self.matrix.shape[0])
+
+    def live_triple_count(self) -> int:
+        """Triples currently visible to queries: base ∪ delta − tombstones."""
+        return (int(self.matrix.shape[0]) + self.delta.insert_count()
+                - self.delta.tombstone_count())
 
     def context(self) -> ExecutionContext:
         """The execution context shared by SPARQL and SQL engines."""
@@ -277,21 +330,119 @@ class RDFStore:
                 clustered_store=self.clustered_store,
                 schema=self.schema,
                 cost_model=self.config.cost_model,
+                delta=self.delta,
             )
         return self._context
 
     # -- cache control ------------------------------------------------------------------
 
     def reset_cold(self) -> None:
-        """Empty the buffer pool (cold cache)."""
+        """Empty the buffer pool (cold cache).
+
+        The pool is shared by every attached structure — base permutation
+        indexes, clustered CS blocks, the irregular table and the delta
+        overlay's columns — so one reset covers them all.
+        """
         self.pool.reset_cold()
 
     def warm(self) -> None:
-        """Pre-load every store's pages (hot cache)."""
+        """Pre-load every attached structure's pages (hot cache).
+
+        Covers the exhaustive indexes, the clustered store (CS blocks plus
+        the irregular table) and the pending delta's columns, so cold/hot
+        experiments stay honest after writes.
+        """
         if self.index_store is not None:
             self.index_store.warm()
         if self.clustered_store is not None:
             self.clustered_store.warm()
+        if self.has_pending_updates():
+            self.delta.warm()
+
+    # -- writing -----------------------------------------------------------------------
+
+    def require_delta(self) -> DeltaStore:
+        """The store's delta overlay (always present, possibly empty)."""
+        return self.delta
+
+    def has_pending_updates(self) -> bool:
+        """Whether uncompacted inserts or deletes are pending."""
+        return not self.delta.is_empty()
+
+    def update(self, text: str) -> UpdateResult:
+        """Execute a SPARQL Update request against the delta overlay.
+
+        Supported forms: ``INSERT DATA``, ``DELETE DATA`` and ``DELETE
+        WHERE`` (chainable with ``;``).  Writes go to the
+        :class:`~repro.updates.DeltaStore`; the base structures stay
+        untouched, yet every subsequent SPARQL/SQL query sees
+        ``base ∪ delta − tombstones``.  A request is atomic: if any
+        statement fails, the statements already applied are rolled back.
+        Every call invalidates the plan cache.  Call :meth:`compact` to
+        fold the delta into base storage.
+
+        Args:
+            text: the update request text.
+
+        Returns:
+            An :class:`~repro.updates.UpdateResult` with the number of
+            triples actually inserted and deleted (RDF set semantics:
+            re-inserting an existing triple or deleting a missing one is a
+            no-op).
+
+        Raises:
+            ParseError: when the text is not in the supported update subset.
+        """
+        request = parse_update(text)
+        snapshot = self.delta.snapshot()
+        try:
+            result = UpdateApplier(self).apply(request)
+        except Exception:
+            self.delta.restore(snapshot)
+            raise
+        finally:
+            # even a rolled-back request may have run queries (DELETE WHERE)
+            # and appended dictionary terms; drop plan/encoder caches either way
+            self._after_write()
+        return result
+
+    def _after_write(self) -> None:
+        """Invalidate plan-dependent caches after a write.
+
+        Plans embed zone-map push-downs and constant OIDs that are only
+        valid for one delta state, so the plan cache is cleared; the value
+        encoder re-indexes literals because updates may have appended new
+        ones.  The physical stores and execution context survive — a write
+        is never a rebuild.
+        """
+        self.plan_cache.clear()
+        if self._context is not None:
+            self._context.encoder.invalidate()
+
+    def compact(self) -> CompactionReport:
+        """Fold the pending delta into base storage (the explicit heavy step).
+
+        Merges ``base − tombstones + inserts`` into a new base matrix,
+        incrementally maintains the emergent schema (new subjects join a
+        property-set-matching CS or the leftover bucket, emptied subjects
+        leave, per-column statistics and coverage refresh), restores the
+        value-ordered literal OID invariant, rebuilds the physical stores
+        and the SQL catalog, and resets the plan cache and cardinality
+        statistics.  Characteristic-set discovery and subject clustering
+        are *not* re-run — call :meth:`discover_schema` / :meth:`cluster`
+        explicitly when the data has drifted far enough.
+
+        Returns:
+            A :class:`~repro.updates.CompactionReport`; a no-op report when
+            nothing was pending.
+        """
+        report = compact_store(self)
+        if report.merged_inserts or report.applied_deletes:
+            self.matrix = value_order_literals(self.matrix, self.dictionary)
+            if self.schema is not None:
+                self.catalog = Catalog(self.schema, self.dictionary)
+            self.build_indexes()
+        return report
 
     # -- querying ----------------------------------------------------------------------
 
@@ -411,4 +562,6 @@ class RDFStore:
         if self.clustered_store is not None:
             summary["regular_fraction"] = self.clustered_store.regular_fraction()
             summary["irregular_triples"] = len(self.clustered_store.irregular)
+        if self.has_pending_updates():
+            summary.update(self.delta.summary())
         return summary

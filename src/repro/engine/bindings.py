@@ -116,11 +116,14 @@ class BindingTable:
         _, idx = np.unique(stacked, axis=0, return_index=True)
         return self.select_rows(np.sort(idx))
 
-    def sort_by(self, keys: Sequence[tuple[str, bool]]) -> "BindingTable":
-        """Sort rows by ``(column, descending)`` keys, first key primary."""
-        if self.num_rows == 0 or not keys:
-            return self.copy()
+    def sort_permutation(self, keys: Sequence[tuple[str, bool]]) -> np.ndarray:
+        """The row permutation that sorts this table by ``(column, descending)``
+        keys, first key primary.  Exposed so a caller can sort *another*
+        aligned table by this one's keys (ORDER BY re-ranks key columns when
+        literal OIDs are temporarily out of value order)."""
         order = np.arange(self.num_rows)
+        if self.num_rows == 0 or not keys:
+            return order
         # apply keys from least to most significant for a stable lexsort-like result
         for name, descending in reversed(list(keys)):
             values = self.column(name)[order]
@@ -130,7 +133,13 @@ class BindingTable:
             else:
                 positions = np.argsort(values, kind="stable")
             order = order[positions]
-        return self.select_rows(order)
+        return order
+
+    def sort_by(self, keys: Sequence[tuple[str, bool]]) -> "BindingTable":
+        """Sort rows by ``(column, descending)`` keys, first key primary."""
+        if self.num_rows == 0 or not keys:
+            return self.copy()
+        return self.select_rows(self.sort_permutation(keys))
 
     def head(self, limit: int) -> "BindingTable":
         """Return the first ``limit`` rows."""

@@ -29,6 +29,10 @@ class ExecutionContext:
     clustered_store: Optional[ClusteredStore] = None
     schema: Optional[EmergentSchema] = None
     cost_model: CostModel = field(default_factory=CostModel)
+    delta: Optional[object] = None
+    """Pending-write overlay (a :class:`repro.updates.DeltaStore`), duck-typed
+    so the engine layer stays import-free of the updates package.  Scans merge
+    ``base ∪ delta − tombstones`` whenever a non-empty delta is attached."""
     encoder: ValueEncoder = field(init=False)
     decoder: ValueDecoder = field(init=False)
 
@@ -52,3 +56,13 @@ class ExecutionContext:
 
     def has_clustered_store(self) -> bool:
         return self.clustered_store is not None
+
+    def has_pending_delta(self) -> bool:
+        """Whether a non-empty write overlay is attached."""
+        return self.delta is not None and not self.delta.is_empty()
+
+    def active_delta(self):
+        """The delta store when it has pending writes, else ``None``."""
+        if self.has_pending_delta():
+            return self.delta
+        return None

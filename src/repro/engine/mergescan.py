@@ -1,0 +1,86 @@
+"""MergeScan: the read-side of the write path.
+
+Every physical access path — index scans over the exhaustive permutation
+store, the per-property probes of nested-loop index joins, RDFscan's merged
+property pairs and the clustered CS-block scans — must see the same logical
+graph: ``base ∪ delta − tombstones``.  The base structures stay immutable;
+this module supplies the small merge helpers the operators call when the
+execution context carries a pending :class:`~repro.updates.DeltaStore`.
+
+The delta object is duck-typed (the engine layer does not import the
+updates package): it only needs ``scan_pattern``, ``tombstone_mask``,
+``pair_tombstone_mask``, ``subjects_touching``, ``object_values``,
+``delta_subjects`` and ``is_tombstoned``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def merge_pattern_rows(delta, rows: np.ndarray,
+                       s: Optional[int], p: Optional[int], o: Optional[int]) -> np.ndarray:
+    """Merge one triple pattern's base rows with the pending delta.
+
+    ``rows`` is the base scan's ``(n, 3)`` S/P/O result; tombstoned rows are
+    dropped and matching delta inserts appended.  Range constraints need no
+    special handling here — callers apply them to the merged rows exactly as
+    they would to base rows.
+    """
+    if rows.size:
+        mask = delta.tombstone_mask(rows, predicate=p)
+        if mask.any():
+            rows = rows[~mask]
+    extra = delta.scan_pattern(s=s, p=p, o=o, fetch="spo")
+    if extra.size == 0:
+        return rows
+    if rows.size == 0:
+        return extra
+    return np.vstack([rows, extra])
+
+
+def merge_property_pairs(delta, subjects: np.ndarray, objects: np.ndarray,
+                         predicate: int, constant_object: Optional[int] = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Merge one star property's base ``(subject, object)`` pairs with the delta.
+
+    Used by the parse-order RDFscan path: the caller re-sorts by subject and
+    applies its object/subject ranges after the merge, so ordering and
+    filtering stay uniform across base and delta pairs.
+    """
+    if subjects.size:
+        mask = delta.pair_tombstone_mask(predicate, subjects, objects)
+        if mask.any():
+            keep = ~mask
+            subjects, objects = subjects[keep], objects[keep]
+    extra = delta.scan_pattern(p=predicate, o=constant_object, fetch="so")
+    if extra.size == 0:
+        return subjects, objects
+    return (np.concatenate([subjects, extra[:, 0]]),
+            np.concatenate([objects, extra[:, 1]]))
+
+
+def merged_subject_objects(delta, predicate: int, subjects: np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Delta ``(input_row, object)`` matches for a vector of probe subjects.
+
+    Returns parallel arrays: the index into ``subjects`` of each match and
+    the matching object OID — the delta half of a nested-loop index probe.
+    """
+    pairs = delta.scan_pattern(p=predicate, fetch="so")
+    if pairs.size == 0 or subjects.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    delta_subjects, delta_objects = pairs[:, 0], pairs[:, 1]
+    order = np.argsort(delta_subjects, kind="stable")
+    delta_subjects, delta_objects = delta_subjects[order], delta_objects[order]
+    lo = np.searchsorted(delta_subjects, subjects, side="left")
+    hi = np.searchsorted(delta_subjects, subjects, side="right")
+    counts = hi - lo
+    input_rows = np.repeat(np.arange(subjects.size, dtype=np.int64), counts)
+    if input_rows.size == 0:
+        return input_rows, np.empty(0, dtype=np.int64)
+    positions = np.concatenate([np.arange(l, h, dtype=np.int64)
+                                for l, h in zip(lo, hi) if h > l])
+    return input_rows, delta_objects[positions]

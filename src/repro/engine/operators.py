@@ -18,6 +18,7 @@ from ..errors import ExecutionError
 from .bindings import BindingTable, hash_join
 from .context import ExecutionContext
 from .expressions import AggregateSpec, Expression
+from .mergescan import merge_pattern_rows, merged_subject_objects
 from .plan import OidRange, PatternTerm, PhysicalOperator, TriplePatternPlan
 
 
@@ -80,6 +81,14 @@ class IndexScanOp(PhysicalOperator):
                 o=None if o.is_variable else o.oid,
                 fetch="spo",
             )
+        delta = context.active_delta()
+        if delta is not None:
+            rows = merge_pattern_rows(
+                delta, rows,
+                s=None if s.is_variable else s.oid,
+                p=None if p.is_variable else p.oid,
+                o=None if o.is_variable else o.oid,
+            )
         return self._bind(rows, context)
 
     def _filter_constant_slots(self, rows: np.ndarray) -> np.ndarray:
@@ -125,9 +134,17 @@ class IndexScanOp(PhysicalOperator):
         slots = {"s": 0, "p": 1, "o": 2}
         for component, term in (("s", self.pattern.subject), ("p", self.pattern.predicate),
                                 ("o", self.pattern.object)):
-            if term.is_variable:
-                columns.setdefault(term.var, rows[:, slots[component]] if rows.size else
-                                   np.empty(0, dtype=np.int64))
+            if not term.is_variable:
+                continue
+            values = rows[:, slots[component]] if rows.size else np.empty(0, dtype=np.int64)
+            if term.var in columns:
+                # repeated variable (e.g. ``?x <p> ?x``): both occurrences
+                # must bind the same OID
+                keep = columns[term.var] == values
+                rows = rows[keep]
+                columns = {name: data[keep] for name, data in columns.items()}
+            else:
+                columns[term.var] = values
         table = BindingTable(columns)
         table = _apply_range(table, self.pattern.object, self.object_range)
         table = _apply_range(table, self.pattern.subject, self.subject_range)
@@ -202,6 +219,20 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
         if matched.size:
             s_column.gather(matched)
 
+        delta = context.active_delta()
+        if delta is not None:
+            # drop tombstoned base pairs, then probe the delta for every subject
+            if input_rows_arr.size:
+                base_subjects = subjects[input_rows_arr]
+                keep = ~delta.pair_tombstone_mask(self.pattern.predicate.oid,
+                                                  base_subjects, objects)
+                input_rows_arr, objects = input_rows_arr[keep], objects[keep]
+            delta_rows, delta_objects = merged_subject_objects(
+                delta, self.pattern.predicate.oid, subjects)
+            if delta_rows.size:
+                input_rows_arr = np.concatenate([input_rows_arr, delta_rows])
+                objects = np.concatenate([objects, delta_objects])
+
         result = input_table.select_rows(input_rows_arr)
         obj_term = self.pattern.object
         if obj_term.is_variable:
@@ -263,13 +294,8 @@ class FilterRangeOp(PhysicalOperator):
         context.tracker.operator_invocations += 1
         table = self.child.execute(context)
         values = table.column(self.var)
-        mask = np.ones(len(values), dtype=bool)
-        if self.oid_range.low is not None:
-            mask &= values >= self.oid_range.low
-        if self.oid_range.high is not None:
-            mask &= values <= self.oid_range.high
         context.tracker.tuples_scanned += int(len(values))
-        return table.filter_mask(mask)
+        return table.filter_mask(self.oid_range.mask(values))
 
 
 class FilterEqualOp(PhysicalOperator):
@@ -349,7 +375,15 @@ class DistinctOp(PhysicalOperator):
 
 
 class OrderByOp(PhysicalOperator):
-    """Sort rows by one or more ``(column, descending)`` keys."""
+    """Sort rows by one or more ``(column, descending)`` keys.
+
+    Ordering normally runs on raw OIDs — the loader's value-ordered literal
+    OIDs make OID order equal value order.  Literals appended by updates
+    after the last value-ordering pass break that invariant until the next
+    compaction, so when a key column contains OIDs past the dictionary's
+    value-order watermark the column is re-ranked by decoded term order
+    before sorting.
+    """
 
     def __init__(self, child: PhysicalOperator, keys: Sequence[tuple[str, bool]]) -> None:
         self.child = child
@@ -364,7 +398,21 @@ class OrderByOp(PhysicalOperator):
 
     def _execute(self, context: ExecutionContext) -> BindingTable:
         context.tracker.operator_invocations += 1
-        return self.child.execute(context).sort_by(self.keys)
+        table = self.child.execute(context)
+        watermark = context.dictionary.value_order_watermark
+        if len(context.dictionary) <= watermark:
+            return table.sort_by(self.keys)
+        sort_table = table
+        for name, _descending in self.keys:
+            if not sort_table.has(name):
+                continue
+            values = sort_table.column(name)
+            if values.dtype.kind != "i" or not (values >= watermark).any():
+                continue
+            sort_table = sort_table.with_column(name, _value_ranks(values, context))
+        if sort_table is table:
+            return table.sort_by(self.keys)
+        return table.select_rows(sort_table.sort_permutation(self.keys))
 
 
 class LimitOp(PhysicalOperator):
@@ -473,15 +521,51 @@ class MaterializedOp(PhysicalOperator):
 # -- helpers --------------------------------------------------------------------------
 
 
+def _value_ranks(values: np.ndarray, context: ExecutionContext) -> np.ndarray:
+    """Float sort keys that put post-watermark literals in value position.
+
+    Pre-watermark OIDs keep their own value as key (OID order *is* value
+    order for them — the baseline semantics); each tail literal is keyed
+    fractionally between the value-ordered OIDs of its clean neighbours, so
+    only the handful of post-watermark OIDs is ever decoded.
+    """
+    from ..model import Literal
+    from ..model.terms import term_sort_key
+
+    dictionary = context.dictionary
+    watermark = dictionary.value_order_watermark
+    keys = values.astype(np.float64)
+    tail = sorted({int(v) for v in values if v >= watermark},
+                  key=lambda oid: term_sort_key(dictionary.decode(oid)))
+    counts: dict = {}
+    denominator = float(len(tail) + 1)
+    for oid in tail:
+        term = dictionary.decode(oid)
+        if not isinstance(term, Literal):
+            continue  # non-literal tail terms keep raw-OID order, as the base does
+        anchor = _tail_anchor(context, term)
+        if anchor is None:
+            continue
+        counts[anchor] = counts.get(anchor, 0) + 1
+        keys[values == oid] = anchor + counts[anchor] / denominator
+    return keys
+
+
+def _tail_anchor(context: ExecutionContext, literal) -> Optional[float]:
+    """The value-ordered OID a tail literal should sort just after."""
+    below = context.encoder.literal_range(None, literal, True, True)
+    if below is not None and not below.is_empty_interval():
+        return float(below.high)  # largest value-ordered literal OID <= value
+    above = context.encoder.literal_range(literal, None, True, True)
+    if above is not None and not above.is_empty_interval():
+        return float(above.low) - 1.0  # just below the smallest clean literal
+    return None  # no value-ordered literals at all: keep raw-OID order
+
+
 def _apply_range(table: BindingTable, term: PatternTerm, oid_range: Optional[OidRange]) -> BindingTable:
     if oid_range is None or oid_range.is_unbounded() or not term.is_variable:
         return table
     if not table.has(term.var):
         return table
     values = table.column(term.var)
-    mask = np.ones(len(values), dtype=bool)
-    if oid_range.low is not None:
-        mask &= values >= oid_range.low
-    if oid_range.high is not None:
-        mask &= values <= oid_range.high
-    return table.filter_mask(mask)
+    return table.filter_mask(oid_range.mask(values))

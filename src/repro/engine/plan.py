@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..errors import PlanError
 from .bindings import BindingTable
 
@@ -45,28 +47,73 @@ class PatternTerm:
 
 @dataclass(frozen=True)
 class OidRange:
-    """An inclusive OID interval used for pushed-down range predicates."""
+    """An inclusive OID interval used for pushed-down range predicates.
+
+    ``extra_oids`` carries literal OIDs that satisfy the predicate in *value*
+    space but fall outside the interval in *OID* space: literals appended by
+    updates after the last value-ordering pass live at the end of the
+    dictionary regardless of their value, so a value range maps to one
+    contiguous interval over the value-ordered region plus this explicit set
+    for the tail.  Base columns only ever hold value-ordered OIDs, so the
+    interval alone stays exact for them; merged delta rows are checked
+    against the full predicate via :meth:`contains` / :meth:`mask`.
+    """
 
     low: Optional[int] = None
     high: Optional[int] = None
+    extra_oids: frozenset = frozenset()
 
     def is_unbounded(self) -> bool:
-        return self.low is None and self.high is None
+        return self.low is None and self.high is None and not self.extra_oids
 
-    def intersect(self, other: "OidRange") -> "OidRange":
-        low = self.low if other.low is None else (other.low if self.low is None else max(self.low, other.low))
-        high = self.high if other.high is None else (other.high if self.high is None else min(self.high, other.high))
-        return OidRange(low, high)
+    def is_empty_interval(self) -> bool:
+        """Whether the ``[low, high]`` interval itself matches nothing.
 
-    def contains(self, value: int) -> bool:
+        The conventional empty sentinel is ``OidRange(1, 0)``; extras may
+        still match even when the interval is empty.
+        """
+        return self.low is not None and self.high is not None and self.high < self.low
+
+    def _interval_contains(self, value: int) -> bool:
         if self.low is not None and value < self.low:
             return False
         if self.high is not None and value > self.high:
             return False
         return True
 
+    def intersect(self, other: "OidRange") -> "OidRange":
+        low = self.low if other.low is None else (other.low if self.low is None else max(self.low, other.low))
+        high = self.high if other.high is None else (other.high if self.high is None else min(self.high, other.high))
+
+        def in_interval(oid: int) -> bool:
+            return (low is None or oid >= low) and (high is None or oid <= high)
+
+        extras = frozenset(
+            oid for oid in (self.extra_oids | other.extra_oids)
+            if self.contains(oid) and other.contains(oid) and not in_interval(oid))
+        return OidRange(low, high, extras)
+
+    def contains(self, value: int) -> bool:
+        if self._interval_contains(value):
+            return True
+        return value in self.extra_oids
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains` over a NumPy OID array."""
+        mask = np.ones(len(values), dtype=bool)
+        if self.low is not None:
+            mask &= values >= self.low
+        if self.high is not None:
+            mask &= values <= self.high
+        if self.extra_oids:
+            mask |= np.isin(values, np.asarray(sorted(self.extra_oids), dtype=np.int64))
+        return mask
+
     def describe(self) -> str:
-        return f"[{self.low if self.low is not None else '-inf'}, {self.high if self.high is not None else '+inf'}]"
+        text = f"[{self.low if self.low is not None else '-inf'}, {self.high if self.high is not None else '+inf'}]"
+        if self.extra_oids:
+            text += f"+{len(self.extra_oids)}oids"
+        return text
 
 
 @dataclass(frozen=True)

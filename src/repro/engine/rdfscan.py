@@ -33,6 +33,7 @@ from ..storage.clustered import CSBlock, ClusteredStore
 from ..storage.triple_table import TripleTable
 from .bindings import BindingTable, hash_join
 from .context import ExecutionContext
+from .mergescan import merge_property_pairs
 from .plan import OidRange, PhysicalOperator, StarPattern, StarProperty
 
 
@@ -101,11 +102,20 @@ class RDFJoinOp(PhysicalOperator):
 def _scan_clustered(context: ExecutionContext, star: StarPattern, use_zone_maps: bool,
                     candidate_subjects: Optional[np.ndarray] = None) -> BindingTable:
     store = context.require_clustered_store()
+    delta = context.active_delta()
     predicates = star.predicate_oids()
     blocks = store.blocks_with_properties(predicates)
 
     results: List[BindingTable] = []
     residual_subjects = _irregular_star_subjects(store.irregular, predicates)
+    # MergeScan: subjects with pending inserts or tombstones on a star
+    # predicate can no longer be answered from their base block alone — route
+    # them through the per-subject union path, which consults base ∪ delta −
+    # tombstones.  This covers brand-new subjects (no CS) as well.
+    if delta is not None:
+        touched = delta.subjects_touching(predicates)
+        if touched.size:
+            residual_subjects = np.union1d(residual_subjects, touched)
 
     for block in blocks:
         table = _scan_block(context, block, star, use_zone_maps, candidate_subjects,
@@ -114,15 +124,16 @@ def _scan_clustered(context: ExecutionContext, star: StarPattern, use_zone_maps:
             results.append(table)
 
     # Residual path: subjects touched by irregular triples (spilled multi-values,
-    # dirty data) are answered from the union of block + irregular data so that
-    # clustering never changes query answers.
+    # dirty data) or by pending writes are answered from the union of block +
+    # irregular + delta data so that clustering never changes query answers.
     if residual_subjects.size:
-        residual = _star_over_union(store, star, residual_subjects, candidate_subjects)
+        residual = _star_over_union(store, star, residual_subjects, candidate_subjects, delta)
         if residual.num_rows:
             results.append(residual)
 
     # Subjects that live only in the irregular store (no CS membership at all).
-    irregular_only = _star_over_irregular_only(store, star, residual_subjects, candidate_subjects)
+    irregular_only = _star_over_irregular_only(store, star, residual_subjects,
+                                               candidate_subjects, delta)
     if irregular_only is not None and irregular_only.num_rows:
         results.append(irregular_only)
 
@@ -207,10 +218,7 @@ def _scan_block(context: ExecutionContext, block: CSBlock, star: StarPattern,
             if not prop.object_term.is_variable:
                 mask &= values == prop.object_term.oid
             if prop.oid_range is not None and not prop.oid_range.is_unbounded():
-                if prop.oid_range.low is not None:
-                    mask &= values >= prop.oid_range.low
-                if prop.oid_range.high is not None:
-                    mask &= values <= prop.oid_range.high
+                mask &= prop.oid_range.mask(values)
         positions = np.nonzero(mask)[0] + start
         if positions.size:
             surviving_positions.append(positions)
@@ -237,7 +245,21 @@ def _scan_block(context: ExecutionContext, block: CSBlock, star: StarPattern,
     columns: Dict[str, np.ndarray] = {star.subject_var: subjects}
     for prop in star.properties:
         term = prop.object_term
-        if not term.is_variable or term.var in columns:
+        if not term.is_variable:
+            continue
+        if term.var in columns:
+            # repeated variable (e.g. ``?x <p> ?x`` or two properties sharing
+            # an object variable): every occurrence must bind the same OID
+            values = block.column(prop.predicate_oid).gather(positions)
+            keep = values == columns[term.var]
+            if not prop.required:
+                keep |= values == NULL_OID
+            if not keep.all():
+                positions = positions[keep]
+                for name in columns:
+                    columns[name] = columns[name][keep]
+            if positions.size == 0:
+                return BindingTable.empty(star.output_variables())
             continue
         column = block.column(prop.predicate_oid)
         values = column.gather(positions)
@@ -293,8 +315,9 @@ def _irregular_star_subjects(irregular: TripleTable, predicates: List[int]) -> n
 
 
 def _star_over_union(store: ClusteredStore, star: StarPattern, subjects: np.ndarray,
-                     candidate_subjects: Optional[np.ndarray]) -> BindingTable:
-    """Answer the star for specific subjects from block + irregular data combined."""
+                     candidate_subjects: Optional[np.ndarray],
+                     delta=None) -> BindingTable:
+    """Answer the star for specific subjects from block + irregular + delta data."""
     if candidate_subjects is not None:
         subjects = np.intersect1d(subjects, candidate_subjects)
     rows: Dict[str, List[int]] = {name: [] for name in star.output_variables()}
@@ -306,7 +329,8 @@ def _star_over_union(store: ClusteredStore, star: StarPattern, subjects: np.ndar
         per_property: List[List[int]] = []
         satisfiable = True
         for prop in star.properties:
-            values = _property_values_for_subject(store, block, subject, prop.predicate_oid)
+            values = _property_values_for_subject(store, block, subject, prop.predicate_oid,
+                                                 delta)
             values = [v for v in values if _value_matches(v, prop)]
             if not values:
                 if prop.required:
@@ -322,7 +346,8 @@ def _star_over_union(store: ClusteredStore, star: StarPattern, subjects: np.ndar
 
 def _star_over_irregular_only(store: ClusteredStore, star: StarPattern,
                               residual_subjects: np.ndarray,
-                              candidate_subjects: Optional[np.ndarray]) -> Optional[BindingTable]:
+                              candidate_subjects: Optional[np.ndarray],
+                              delta=None) -> Optional[BindingTable]:
     """Answer the star for subjects that belong to no CS at all."""
     predicates = star.predicate_oids()
     subjects = _irregular_star_subjects(store.irregular, predicates)
@@ -333,21 +358,27 @@ def _star_over_irregular_only(store: ClusteredStore, star: StarPattern,
     no_cs = np.setdiff1d(no_cs, residual_subjects)
     if no_cs.size == 0:
         return None
-    return _star_over_union(store, star, no_cs, candidate_subjects)
+    return _star_over_union(store, star, no_cs, candidate_subjects, delta)
 
 
 def _property_values_for_subject(store: ClusteredStore, block: Optional[CSBlock],
-                                 subject: int, predicate: int) -> List[int]:
+                                 subject: int, predicate: int,
+                                 delta=None) -> List[int]:
     values: List[int] = []
     if block is not None and block.has_property(predicate):
         positions = block.positions_of_subjects(np.asarray([subject], dtype=np.int64))
         if positions.size:
             value = int(block.column(predicate).gather(positions)[0])
-            if value != NULL_OID:
+            if value != NULL_OID and not (delta is not None
+                                          and delta.is_tombstoned(subject, predicate, value)):
                 values.append(value)
     rows = store.irregular.scan_prefix(predicate, subject, fetch="o")
     if rows.size:
-        values.extend(int(v) for v in rows[:, 0])
+        values.extend(int(v) for v in rows[:, 0]
+                      if not (delta is not None
+                              and delta.is_tombstoned(subject, predicate, int(v))))
+    if delta is not None:
+        values.extend(delta.object_values(subject, predicate))
     return values
 
 
@@ -370,7 +401,13 @@ def _expand_product(rows: Dict[str, List[int]], star: StarPattern, subject: int,
         for combo in combos:
             for value in values:
                 if term.is_variable:
-                    if term.var in combo and combo[term.var] != value:
+                    if term.var in combo:
+                        # repeated variable: a real value must match the prior
+                        # binding; a missing optional value keeps it (mirrors
+                        # the block path's NULL handling)
+                        if value != NULL_OID and combo[term.var] != value:
+                            continue
+                        new_combos.append(dict(combo))
                         continue
                     extended = dict(combo)
                     extended[term.var] = value
@@ -408,16 +445,27 @@ def _scan_index_merge(context: ExecutionContext, star: StarPattern,
     # start from the most selective required property
     property_data.sort(key=lambda item: item[1].size if item[0].required else np.iinfo(np.int64).max)
 
-    first_prop, first_subjects, first_objects = property_data[0]
-    table = BindingTable({star.subject_var: first_subjects})
-    if first_prop.object_term.is_variable:
-        table = table.with_column(first_prop.object_term.var, first_objects)
+    if property_data and any(prop.required for prop, _s, _o in property_data):
+        first_prop, first_subjects, first_objects = property_data[0]
+        table = BindingTable({star.subject_var: first_subjects})
+        if first_prop.object_term.is_variable:
+            table = table.with_column(first_prop.object_term.var, first_objects)
+        remaining = property_data[1:]
+    else:
+        # all-optional star (the SQL view during pending writes): any subject
+        # with at least one of the properties is a row, so seed from the
+        # union and left-merge every property — anchoring on one property
+        # would drop the subjects that lack it
+        union = np.unique(np.concatenate([s for _p, s, _o in property_data])) \
+            if property_data else np.empty(0, dtype=np.int64)
+        table = BindingTable({star.subject_var: union})
+        remaining = property_data
 
     if candidate_subjects is not None:
         mask = np.isin(table.column(star.subject_var), candidate_subjects)
         table = table.filter_mask(mask)
 
-    for prop, subjects, objects in property_data[1:]:
+    for prop, subjects, objects in remaining:
         table = _merge_property(context, table, star.subject_var, prop, subjects, objects)
         if table.num_rows == 0 and prop.required:
             return BindingTable.empty(output_vars)
@@ -446,21 +494,21 @@ def _property_pairs(context: ExecutionContext, store, prop: StarProperty,
     else:
         rows = store.scan_pattern(p=prop.predicate_oid, fetch="so")
     if rows.size == 0:
+        subjects = objects = np.empty(0, dtype=np.int64)
+    else:
+        subjects, objects = rows[:, 0], rows[:, 1]
+    delta = context.active_delta()
+    if delta is not None:
+        constant = None if prop.object_term.is_variable else prop.object_term.oid
+        subjects, objects = merge_property_pairs(delta, subjects, objects,
+                                                 prop.predicate_oid, constant)
+    if subjects.size == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    subjects, objects = rows[:, 0], rows[:, 1]
     if prop.oid_range is not None and not prop.oid_range.is_unbounded():
-        mask = np.ones(len(objects), dtype=bool)
-        if prop.oid_range.low is not None:
-            mask &= objects >= prop.oid_range.low
-        if prop.oid_range.high is not None:
-            mask &= objects <= prop.oid_range.high
+        mask = prop.oid_range.mask(objects)
         subjects, objects = subjects[mask], objects[mask]
     if subject_range is not None and not subject_range.is_unbounded():
-        mask = np.ones(len(subjects), dtype=bool)
-        if subject_range.low is not None:
-            mask &= subjects >= subject_range.low
-        if subject_range.high is not None:
-            mask &= subjects <= subject_range.high
+        mask = subject_range.mask(subjects)
         subjects, objects = subjects[mask], objects[mask]
     order = np.argsort(subjects, kind="stable")
     return subjects[order], objects[order]

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..model import Literal, Term, TermDictionary
 from ..model.terms import term_sort_key
+from .plan import OidRange
 
 
 class ValueEncoder:
@@ -49,21 +50,11 @@ class ValueEncoder:
         """OID of an exact term, or ``None`` if it does not occur in the data."""
         return self.dictionary.lookup_term(term)
 
-    def literal_range_to_oids(
-        self,
-        low: Optional[Literal],
-        high: Optional[Literal],
-        low_inclusive: bool = True,
-        high_inclusive: bool = True,
-    ) -> Optional[tuple[int, int]]:
-        """OID interval ``[lo_oid, hi_oid]`` covering a literal value range.
-
-        Returns ``None`` when no stored literal falls in the range.  Only
-        valid when literal OIDs are value-ordered (the loader guarantees
-        this); the interval is inclusive on both ends.
-        """
+    def _range_indexes(self, low: Optional[Literal], high: Optional[Literal],
+                       low_inclusive: bool, high_inclusive: bool) -> tuple[int, int]:
+        """Bounds of a value range inside the value-sorted literal index."""
         self._ensure_literal_index()
-        assert self._literal_oids is not None and self._literal_keys is not None
+        assert self._literal_keys is not None
         keys = self._literal_keys
         lo_idx = 0
         hi_idx = len(keys)
@@ -73,9 +64,38 @@ class ValueEncoder:
         if high is not None:
             key = term_sort_key(high)
             hi_idx = bisect_right(keys, key) if high_inclusive else bisect_left(keys, key)
+        return lo_idx, hi_idx
+
+    def literal_range(
+        self,
+        low: Optional[Literal],
+        high: Optional[Literal],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Optional[OidRange]:
+        """Translate a literal value range to an :class:`OidRange`.
+
+        Literal OIDs below the dictionary's value-order watermark form one
+        contiguous OID interval per value range (exact for every base
+        column).  Literals appended by updates after the last value-ordering
+        pass are out of OID order, so the ones whose *value* falls in range
+        are carried individually in :attr:`OidRange.extra_oids`; merged
+        delta scans check them explicitly.  Returns ``None`` when no stored
+        literal satisfies the range at all.
+        """
+        lo_idx, hi_idx = self._range_indexes(low, high, low_inclusive, high_inclusive)
         if hi_idx <= lo_idx:
             return None
-        return self._literal_oids[lo_idx], self._literal_oids[hi_idx - 1]
+        assert self._literal_oids is not None
+        watermark = self.dictionary.value_order_watermark
+        in_range = self._literal_oids[lo_idx:hi_idx]
+        clean = [oid for oid in in_range if oid < watermark]
+        extras = frozenset(oid for oid in in_range if oid >= watermark)
+        if clean:
+            # clean OIDs are value-ordered, so the value slice is one OID run
+            return OidRange(clean[0], clean[-1], extras)
+        # nothing in the value-ordered region: an empty interval plus extras
+        return OidRange(1, 0, extras)
 
 
 class ValueDecoder:
@@ -110,7 +130,13 @@ class ValueDecoder:
         return out
 
     def python_value(self, oid: int):
-        """Decoded Python value of an OID (IRI string, literal value, ...)."""
+        """Decoded Python value of an OID (IRI string, literal value, ...).
+
+        ``NULL_OID`` (any negative OID) decodes to ``None`` — the SQL view
+        produces NULL bindings for absent 0..1 columns.
+        """
+        if oid < 0:
+            return None
         term = self.dictionary.decode(int(oid))
         if isinstance(term, Literal):
             return term.to_python()

@@ -35,6 +35,19 @@ class TermDictionary:
     def __init__(self) -> None:
         self._term_to_oid: Dict[Term, int] = {}
         self._oid_to_term: List[Term] = []
+        self._value_order_watermark = 0
+
+    @property
+    def value_order_watermark(self) -> int:
+        """OIDs below this bound were covered by the last value-ordering pass.
+
+        Literal OIDs ``< watermark`` are value-ordered among themselves;
+        literals appended later (by the write path) sit at the end of the OID
+        space in arrival order and must be range-checked individually until
+        the next :meth:`reassign_value_ordered_literals` (run at load time
+        and by ``RDFStore.compact``).
+        """
+        return self._value_order_watermark
 
     # -- encoding ------------------------------------------------------------
 
@@ -141,6 +154,7 @@ class TermDictionary:
         identity = all(old == new for old, new in mapping.items())
         if not identity:
             self.remap(mapping)
+        self._value_order_watermark = len(self._oid_to_term)
         return mapping
 
     def sorted_literal_oids(self) -> List[int]:

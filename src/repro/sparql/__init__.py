@@ -9,13 +9,17 @@ from .ast import (
     AggregateExpr,
     ArithmeticExpr,
     Comparison,
+    DeleteDataOp,
+    DeleteWhereOp,
+    InsertDataOp,
     OrderCondition,
     SelectQuery,
     TriplePattern,
+    UpdateRequest,
     Variable,
 )
 from .optimizer import PlanCache, QueryOptimizer
-from .parser import parse_sparql
+from .parser import parse_sparql, parse_update
 from .planner import (
     DEFAULT_SCHEME,
     OPTIMIZED_SCHEME,
@@ -29,6 +33,9 @@ __all__ = [
     "ArithmeticExpr",
     "Comparison",
     "DEFAULT_SCHEME",
+    "DeleteDataOp",
+    "DeleteWhereOp",
+    "InsertDataOp",
     "OPTIMIZED_SCHEME",
     "OrderCondition",
     "PlanCache",
@@ -40,8 +47,10 @@ __all__ = [
     "SparqlEngine",
     "SparqlPlanner",
     "TriplePattern",
+    "UpdateRequest",
     "Variable",
     "parse_sparql",
+    "parse_update",
 ]
 
 
@@ -146,3 +155,15 @@ class SparqlEngine:
         parsed, plan = self.prepare(text, options)
         bindings, cost = execute_plan(plan, self.context)
         return QueryResult(bindings=bindings, cost=cost, plan=plan, columns=parsed.output_names())
+
+    def query_parsed(self, query: SelectQuery,
+                     options: Optional[PlannerOptions] = None) -> QueryResult:
+        """Plan and execute an already-parsed query, bypassing the plan cache.
+
+        Used by the update subsystem (``DELETE WHERE`` evaluates its pattern
+        block as a SELECT) and by callers that build
+        :class:`SelectQuery` ASTs programmatically.
+        """
+        plan = self.planner.plan(query, options or PlannerOptions())
+        bindings, cost = execute_plan(plan, self.context)
+        return QueryResult(bindings=bindings, cost=cost, plan=plan, columns=query.output_names())

@@ -3,14 +3,19 @@
 The subset covers what the paper's workload needs (and a bit more): basic
 graph patterns, FILTER with comparison conjunctions, SELECT with variables
 or aggregate expressions, DISTINCT, GROUP BY, ORDER BY and LIMIT.
+
+The write path adds the SPARQL Update subset used by
+:meth:`repro.core.RDFStore.update`: ``INSERT DATA``, ``DELETE DATA`` and
+``DELETE WHERE`` statements, optionally chained with ``;`` into one
+:class:`UpdateRequest`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
-from ..model import Term
+from ..model import Term, Triple
 
 
 @dataclass(frozen=True)
@@ -130,3 +135,50 @@ class SelectQuery:
         names = list(self.select_variables)
         names.extend(agg.alias for agg in self.aggregates)
         return names
+
+
+# -- SPARQL Update ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InsertDataOp:
+    """``INSERT DATA { ... }``: add a set of ground triples."""
+
+    triples: Tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class DeleteDataOp:
+    """``DELETE DATA { ... }``: remove a set of ground triples."""
+
+    triples: Tuple[Triple, ...]
+
+
+@dataclass(frozen=True)
+class DeleteWhereOp:
+    """``DELETE WHERE { ... }``: remove every instantiation of the pattern.
+
+    The pattern block doubles as the deletion template, exactly as in the
+    SPARQL 1.1 Update shorthand; FILTERs are not part of the subset.
+    """
+
+    patterns: Tuple[TriplePattern, ...]
+
+    def all_variables(self) -> List[str]:
+        seen: List[str] = []
+        for pattern in self.patterns:
+            for name in pattern.variables():
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+
+UpdateOperation = Union[InsertDataOp, DeleteDataOp, DeleteWhereOp]
+"""One statement of an update request."""
+
+
+@dataclass
+class UpdateRequest:
+    """A parsed SPARQL Update request: one or more ``;``-chained statements."""
+
+    operations: List[UpdateOperation] = field(default_factory=list)

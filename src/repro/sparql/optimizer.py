@@ -82,6 +82,7 @@ class QueryOptimizer:
             schema=context.schema,
             index_store=context.index_store,
             clustered_store=context.clustered_store,
+            delta=context.delta,
         )
         self.cost_model = context.cost_model
 

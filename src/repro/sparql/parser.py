@@ -11,6 +11,13 @@ Grammar (informally)::
     comparison  := (var op constant) | (constant op var)
     modifiers   := [GROUP BY var+] [ORDER BY ordercond+] [LIMIT n]
 
+Updates (see :func:`parse_update`)::
+
+    update      := prologue statement (';' prologue statement)* [';']
+    statement   := INSERT DATA '{' triples* '}'
+                 | DELETE DATA '{' triples* '}'
+                 | DELETE WHERE '{' triples* '}'
+
 Terms: ``<iri>``, ``prefix:local``, ``?var``, ``"literal"`` (with optional
 ``@lang`` / ``^^datatype``), integers, decimals, booleans and the keyword
 ``a`` for ``rdf:type``.
@@ -22,15 +29,19 @@ import re
 from typing import List, Optional
 
 from ..errors import ParseError
-from ..model import IRI, Literal
+from ..model import IRI, Literal, Triple
 from ..model.terms import RDF_TYPE, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER, unescape_literal
 from .ast import (
     AggregateExpr,
     ArithmeticExpr,
     Comparison,
+    DeleteDataOp,
+    DeleteWhereOp,
+    InsertDataOp,
     OrderCondition,
     SelectQuery,
     TriplePattern,
+    UpdateRequest,
     Variable,
 )
 
@@ -56,6 +67,7 @@ _KEYWORDS = {
     "select", "where", "filter", "prefix", "distinct", "group", "by",
     "order", "asc", "desc", "limit", "as", "a", "true", "false",
     "sum", "count", "avg", "min", "max", "optional", "base",
+    "insert", "delete", "data",
 }
 
 
@@ -91,6 +103,20 @@ def _tokenize(text: str) -> List[_Token]:
 def parse_sparql(text: str) -> SelectQuery:
     """Parse a SPARQL SELECT query (subset) into a :class:`SelectQuery`."""
     return _Parser(text).parse_query()
+
+
+def parse_update(text: str) -> UpdateRequest:
+    """Parse a SPARQL Update request (subset) into an :class:`UpdateRequest`.
+
+    The subset covers ``INSERT DATA``, ``DELETE DATA`` and ``DELETE WHERE``,
+    optionally chained with ``;``.  ``INSERT DATA`` / ``DELETE DATA`` blocks
+    must be ground (no variables); ``DELETE WHERE`` accepts triple patterns
+    with variables in any position but no FILTERs.
+
+    Raises:
+        ParseError: when the text is not in the supported update subset.
+    """
+    return _Parser(text).parse_update_request()
 
 
 class _Parser:
@@ -179,6 +205,69 @@ class _Parser:
                 self.prefixes[""] = iri_token.text[1:-1]
             else:
                 return
+
+    # -- updates ---------------------------------------------------------------
+
+    def parse_update_request(self) -> UpdateRequest:
+        request = UpdateRequest()
+        self._parse_prologue()
+        while True:
+            request.operations.append(self._parse_update_statement())
+            if self.accept_punct(";"):
+                before_prologue = self.index
+                self._parse_prologue()
+                if self.peek() is None:
+                    if self.index != before_prologue:
+                        # a prologue with no statement after it signals a
+                        # truncated request — fail loudly, don't drop it
+                        raise self._error("expected an update statement after the prologue")
+                    break  # trailing ';' after the last statement
+                continue
+            break
+        if self.peek() is not None:
+            raise self._error(f"unexpected trailing token {self.peek().text!r}")
+        return request
+
+    def _parse_update_statement(self):
+        if self.accept_keyword("insert"):
+            self.expect_keyword("data")
+            return InsertDataOp(self._parse_ground_block("INSERT DATA"))
+        if self.accept_keyword("delete"):
+            if self.accept_keyword("data"):
+                return DeleteDataOp(self._parse_ground_block("DELETE DATA"))
+            self.expect_keyword("where")
+            return DeleteWhereOp(tuple(self._parse_pattern_block(allow_filters=False)))
+        raise self._error("expected INSERT DATA, DELETE DATA or DELETE WHERE")
+
+    def _parse_pattern_block(self, allow_filters: bool) -> List[TriplePattern]:
+        """Parse a ``{ ... }`` block of triple patterns (used by updates)."""
+        collector = SelectQuery()
+        self.expect_punct("{")
+        while True:
+            token = self.peek()
+            if token is None:
+                raise self._error("unterminated block (missing '}')")
+            if token.kind == "PUNCT" and token.text == "}":
+                break
+            if token.kind == "KEYWORD" and token.text.lower() == "filter":
+                if not allow_filters:
+                    raise self._error("FILTER is not supported in this update form")
+                self.next()
+                self._parse_filter(collector)
+                self.accept_punct(".")
+                continue
+            self._parse_triple_block(collector)
+        self.expect_punct("}")
+        return collector.patterns
+
+    def _parse_ground_block(self, form: str) -> tuple:
+        patterns = self._parse_pattern_block(allow_filters=False)
+        triples = []
+        for pattern in patterns:
+            if pattern.variables():
+                raise self._error(f"{form} requires ground triples (no variables)")
+            triples.append(Triple(pattern.subject, pattern.predicate, pattern.object))
+        return tuple(triples)
 
     def _parse_selection(self, query: SelectQuery) -> None:
         if self.accept_punct("*"):

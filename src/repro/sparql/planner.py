@@ -161,11 +161,11 @@ class SparqlPlanner:
             return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (unknown term)")
 
         if options.scheme == DEFAULT_SCHEME:
-            root = self._plan_default(stars, loose_patterns, constraints, options)
+            root = self._plan_default(query, stars, loose_patterns, constraints, options)
         else:
             # rdfscan and optimized share the RDFscan/RDFjoin physical algebra;
             # they differ in how star join order is chosen
-            root = self._plan_rdfscan(stars, loose_patterns, constraints, options)
+            root = self._plan_rdfscan(query, stars, loose_patterns, constraints, options)
 
         if root is None:
             return MaterializedOp(BindingTable.empty(query.output_names()), label="empty (no patterns)")
@@ -175,6 +175,20 @@ class SparqlPlanner:
         root = self._apply_solution_modifiers(root, query)
         self._optimizer().annotate(root)
         return root
+
+    def _empty_plan(self, query: SelectQuery, label: str) -> MaterializedOp:
+        """A zero-row shortcut plan that still binds the query's variables.
+
+        Shortcut plans returned from inside the plan-shape helpers flow
+        through the filter / aggregate / projection modifiers, which
+        reference pattern and SELECT variables by name — an empty table
+        without those columns would crash instead of yielding zero rows.
+        """
+        names: List[str] = list(query.all_variables())
+        for name in query.select_variables:
+            if name not in names:
+                names.append(name)
+        return MaterializedOp(BindingTable.empty(names), label=label)
 
     def _apply_not_equal_constraints(self, root: PhysicalOperator, query: SelectQuery,
                                      constraints: Dict[str, _VarConstraint]) -> PhysicalOperator:
@@ -224,11 +238,11 @@ class SparqlPlanner:
         else:
             high = value
             high_inclusive = comparison.op == "<="
-        bounds = encoder.literal_range_to_oids(low, high, low_inclusive, high_inclusive)
+        bounds = encoder.literal_range(low, high, low_inclusive, high_inclusive)
         if bounds is None:
             constraint.unsatisfiable = True
             return True
-        constraint.oid_range = constraint.oid_range.intersect(OidRange(bounds[0], bounds[1]))
+        constraint.oid_range = constraint.oid_range.intersect(bounds)
         return True
 
     # -- pattern grouping -------------------------------------------------------------
@@ -287,15 +301,20 @@ class SparqlPlanner:
 
     # -- RDFscan / RDFjoin scheme -------------------------------------------------------
 
-    def _plan_rdfscan(self, stars, loose_patterns, constraints, options: PlannerOptions):
+    def _plan_rdfscan(self, query: SelectQuery, stars, loose_patterns, constraints,
+                      options: PlannerOptions):
         star_patterns: Dict[str, StarPattern] = {}
         for subject_var, members in stars.items():
             star = self._build_star(subject_var, members, constraints)
             if star is None:
-                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                return self._empty_plan(query, "empty (unknown term)")
             star_patterns[subject_var] = star
 
-        if options.use_zone_maps and self.context.has_clustered_store() and not options.force_index_path:
+        if (options.use_zone_maps and self.context.has_clustered_store()
+                and not options.force_index_path and not self.context.has_pending_delta()):
+            # Zone-map-derived subject/FK ranges describe the immutable base
+            # columns only; with pending writes they could exclude delta rows,
+            # so push-down pauses until the next compaction.
             self._apply_zone_map_pushdown(star_patterns)
 
         if options.cost_based:
@@ -315,7 +334,7 @@ class SparqlPlanner:
                 root = self._connect_star(root, star, planned_vars, options)
             planned_vars.update(star.output_variables())
 
-        root = self._join_loose_patterns(root, loose_patterns, constraints, planned_vars)
+        root = self._join_loose_patterns(query, root, loose_patterns, constraints, planned_vars)
         return root
 
     def _connect_star(self, root: PhysicalOperator, star: StarPattern, planned_vars: set[str],
@@ -440,18 +459,20 @@ class SparqlPlanner:
 
     # -- default scheme --------------------------------------------------------------------
 
-    def _plan_default(self, stars, loose_patterns, constraints, options: PlannerOptions):
+    def _plan_default(self, query: SelectQuery, stars, loose_patterns, constraints,
+                      options: PlannerOptions):
         root: Optional[PhysicalOperator] = None
         planned_vars: set[str] = set()
 
         # With zone maps on a clustered store, derive the same pushed-down
         # ranges the RDFscan scheme uses and hand them to the index scans.
         pushed: Dict[str, StarPattern] = {}
-        if options.use_zone_maps and self.context.has_clustered_store():
+        if (options.use_zone_maps and self.context.has_clustered_store()
+                and not self.context.has_pending_delta()):
             for subject_var, members in stars.items():
                 star = self._build_star(subject_var, members, constraints)
                 if star is None:
-                    return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                    return self._empty_plan(query, "empty (unknown term)")
                 pushed[subject_var] = star
             self._apply_zone_map_pushdown(pushed)
 
@@ -460,7 +481,7 @@ class SparqlPlanner:
             for subject_var, members in stars.items():
                 star = pushed.get(subject_var) or self._build_star(subject_var, members, constraints)
                 if star is None:
-                    return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                    return self._empty_plan(query, "empty (unknown term)")
                 ranking[subject_var] = star
             ordered_subjects = [star.subject_var for star in self._optimizer().order_stars(ranking)]
         else:
@@ -473,7 +494,7 @@ class SparqlPlanner:
             star_plan = self._plan_default_star(subject_var, members, constraints, options,
                                                 pushed.get(subject_var))
             if star_plan is None:
-                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                return self._empty_plan(query, "empty (unknown term)")
             if root is None:
                 root = star_plan
             else:
@@ -481,7 +502,7 @@ class SparqlPlanner:
                 root = HashJoinOp(root, star_plan, join_vars=shared or None)
             planned_vars.update(self._star_member_vars(subject_var, members))
 
-        root = self._join_loose_patterns(root, loose_patterns, constraints, planned_vars)
+        root = self._join_loose_patterns(query, root, loose_patterns, constraints, planned_vars)
         return root
 
     def _star_member_vars(self, subject_var: str, members) -> List[str]:
@@ -590,7 +611,8 @@ class SparqlPlanner:
         constraint = constraints.get(subject_var)
         base = constraint.oid_range if constraint is not None and not constraint.oid_range.is_unbounded() \
             else None
-        if not options.use_zone_maps or not self.context.has_clustered_store():
+        if (not options.use_zone_maps or not self.context.has_clustered_store()
+                or self.context.has_pending_delta()):
             return base
         store = self.context.clustered_store
         predicate_oids = [oid for oid, _pattern in members]
@@ -612,12 +634,13 @@ class SparqlPlanner:
 
     # -- shared helpers -------------------------------------------------------------------
 
-    def _join_loose_patterns(self, root: Optional[PhysicalOperator], loose_patterns,
-                             constraints, planned_vars: set[str]) -> Optional[PhysicalOperator]:
+    def _join_loose_patterns(self, query: SelectQuery, root: Optional[PhysicalOperator],
+                             loose_patterns, constraints,
+                             planned_vars: set[str]) -> Optional[PhysicalOperator]:
         for pattern in loose_patterns:
             plan = self._plan_single_pattern(pattern, constraints)
             if plan is None:
-                return MaterializedOp(BindingTable.empty([]), label="empty (unknown term)")
+                return self._empty_plan(query, "empty (unknown term)")
             pattern_vars = set(pattern.variables())
             if root is None:
                 root = plan

@@ -234,6 +234,12 @@ class SqlEngine:
                 term = PatternTerm.variable(var)
                 spec = self.catalog.schema.tables[table.cs_id].properties.get(column.predicate_oid)
                 required = spec is not None and spec.multiplicity is Multiplicity.EXACTLY_ONE
+                # With pending writes the schema's multiplicity statistics are
+                # stale (compaction refreshes them): a delete may have punched a
+                # hole into a nominally 1..1 column.  Treat unpinned columns as
+                # nullable so answers agree before and after compact().
+                if self.context.has_pending_delta():
+                    required = False
                 # a WHERE predicate on the column implies the value must exist
                 if oid_range is not None:
                     required = True
@@ -242,7 +248,11 @@ class SqlEngine:
             subject_range = constraints.get(subject_var)
             stars[alias] = StarPattern(subject_var=subject_var, properties=properties,
                                        subject_range=subject_range)
-        if self.use_zone_maps and self.context.has_clustered_store():
+        if (self.use_zone_maps and self.context.has_clustered_store()
+                and not self.context.has_pending_delta()):
+            # zone-map-derived subject ranges describe base columns only; they
+            # could exclude pending-delta rows, so push-down pauses until the
+            # next compaction (mirrors the SPARQL planner's gate)
             self._push_ranges_across_joins(query, tables, var_names, stars)
         return stars
 
@@ -282,16 +292,12 @@ class SqlEngine:
     def _comparison_bounds(self, op: str, literal: Literal) -> Optional[OidRange]:
         encoder = self.context.encoder
         if op == "=":
-            bounds = encoder.literal_range_to_oids(literal, literal, True, True)
-        elif op in (">", ">="):
-            bounds = encoder.literal_range_to_oids(literal, None, op == ">=", True)
-        elif op in ("<", "<="):
-            bounds = encoder.literal_range_to_oids(None, literal, True, op == "<=")
-        else:
-            return OidRange()
-        if bounds is None:
-            return None
-        return OidRange(bounds[0], bounds[1])
+            return encoder.literal_range(literal, literal, True, True)
+        if op in (">", ">="):
+            return encoder.literal_range(literal, None, op == ">=", True)
+        if op in ("<", "<="):
+            return encoder.literal_range(None, literal, True, op == "<=")
+        return OidRange()
 
     def _push_ranges_across_joins(self, query: SqlQuery, tables: Dict[str, CatalogTable],
                                   var_names: Dict[Tuple[str, str], str],

@@ -1,0 +1,31 @@
+"""The write path: SPARQL Update application, delta storage and compaction.
+
+The paper's emergent-schema store is built bulk-first: load, discover,
+cluster.  This package makes the result *writable* without rebuilding:
+
+* :class:`DeltaStore` — dictionary-encoded inserted triples (routed to an
+  existing characteristic set by property-set match, else to the leftover
+  bucket) plus a tombstone set for deleted base triples;
+* :class:`UpdateApplier` — executes parsed ``INSERT DATA`` / ``DELETE DATA``
+  / ``DELETE WHERE`` requests against a store;
+* :func:`compact_store` — merges the delta into the base storage,
+  incrementally maintains the emergent schema (new subjects join a matching
+  CS or the irregular table; emptied subjects leave), and restores the
+  value-ordered literal OID invariant.
+
+Queries between writes and compactions stay correct because every access
+path in :mod:`repro.engine` merges ``base ∪ delta − tombstones`` (the
+MergeScan layer); see ``docs/updates.md``.
+"""
+
+from .apply import UpdateApplier, UpdateResult
+from .compaction import CompactionReport, compact_store
+from .delta import DeltaStore
+
+__all__ = [
+    "CompactionReport",
+    "DeltaStore",
+    "UpdateApplier",
+    "UpdateResult",
+    "compact_store",
+]

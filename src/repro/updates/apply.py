@@ -1,0 +1,194 @@
+"""Applying parsed SPARQL Update requests to a store's delta overlay.
+
+The applier is deliberately thin: it encodes terms, decides base membership,
+and feeds the :class:`~repro.updates.delta.DeltaStore`, which owns the
+insert/tombstone/resurrection rules.  ``DELETE WHERE`` evaluates its pattern
+block as an ordinary (delta-aware) SELECT first, then deletes every
+instantiation of the template — the engine's MergeScan layer guarantees the
+pre-deletion snapshot already reflects earlier statements of the same
+request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import StorageError
+from ..model import EncodedTriple, Triple
+from ..sparql.ast import (
+    DeleteDataOp,
+    DeleteWhereOp,
+    InsertDataOp,
+    SelectQuery,
+    UpdateRequest,
+    Variable,
+)
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one :meth:`repro.core.RDFStore.update` call."""
+
+    inserted: int = 0
+    deleted: int = 0
+    statements: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return self.inserted > 0 or self.deleted > 0
+
+    def merge(self, other: "UpdateResult") -> None:
+        self.inserted += other.inserted
+        self.deleted += other.deleted
+        self.statements += other.statements
+
+
+class UpdateApplier:
+    """Executes an :class:`UpdateRequest` against one store's delta."""
+
+    def __init__(self, store) -> None:
+        self.store = store
+        self._base_keys: Optional[np.ndarray] = None
+        self._base_bases: Optional[Tuple[int, int]] = None
+
+    def apply(self, request: UpdateRequest) -> UpdateResult:
+        result = UpdateResult()
+        for operation in request.operations:
+            if isinstance(operation, InsertDataOp):
+                result.merge(self._insert_data(operation))
+            elif isinstance(operation, DeleteDataOp):
+                result.merge(self._delete_data(operation))
+            elif isinstance(operation, DeleteWhereOp):
+                result.merge(self._delete_where(operation))
+            else:  # pragma: no cover - parser only produces the three forms
+                raise StorageError(f"unsupported update operation {operation!r}")
+        return result
+
+    # -- statements -----------------------------------------------------------------
+
+    def _insert_data(self, operation: InsertDataOp) -> UpdateResult:
+        delta = self.store.require_delta()
+        result = UpdateResult(statements=1)
+        for triple in operation.triples:
+            encoded = self.store.dictionary.encode_triple(triple)
+            if delta.insert(encoded.s, encoded.p, encoded.o,
+                            in_base=self._base_contains(encoded)):
+                result.inserted += 1
+        return result
+
+    def _delete_data(self, operation: DeleteDataOp) -> UpdateResult:
+        delta = self.store.require_delta()
+        result = UpdateResult(statements=1)
+        for triple in operation.triples:
+            encoded = self._lookup_triple(triple)
+            if encoded is None:  # an unseen term cannot be part of any triple
+                continue
+            if delta.delete(encoded.s, encoded.p, encoded.o,
+                            in_base=self._base_contains(encoded)):
+                result.deleted += 1
+        return result
+
+    def _delete_where(self, operation: DeleteWhereOp) -> UpdateResult:
+        result = UpdateResult(statements=1)
+        for s, p, o in self._matching_triples(operation):
+            encoded = EncodedTriple(s, p, o)
+            if self.store.require_delta().delete(
+                    encoded.s, encoded.p, encoded.o,
+                    in_base=self._base_contains(encoded)):
+                result.deleted += 1
+        return result
+
+    # -- DELETE WHERE evaluation -------------------------------------------------------
+
+    def _matching_triples(self, operation: DeleteWhereOp) -> Set[Tuple[int, int, int]]:
+        """All OID triples matched by the pattern block (evaluated as a BGP)."""
+        variables = operation.all_variables()
+        if not variables:
+            # a fully ground block deletes its triples iff *every* one matches
+            encoded: List[EncodedTriple] = []
+            for pattern in operation.patterns:
+                triple = Triple(pattern.subject, pattern.predicate, pattern.object)
+                found = self._lookup_triple(triple)
+                if found is None or not self._is_live(found):
+                    return set()
+                encoded.append(found)
+            return {(t.s, t.p, t.o) for t in encoded}
+
+        query = SelectQuery(select_variables=list(variables),
+                            patterns=list(operation.patterns))
+        bindings = self.store.sparql_engine().query_parsed(query)
+        matches: Set[Tuple[int, int, int]] = set()
+        for row in bindings.rows():
+            binding = dict(zip(variables, (int(v) for v in row)))
+            for pattern in operation.patterns:
+                resolved = self._resolve_pattern(pattern, binding)
+                if resolved is not None:
+                    matches.add(resolved)
+        return matches
+
+    def _resolve_pattern(self, pattern, binding) -> Optional[Tuple[int, int, int]]:
+        oids = []
+        for node in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(node, Variable):
+                oids.append(binding[node.name])
+                continue
+            oid = self.store.dictionary.lookup_term(node)
+            if oid is None:
+                return None
+            oids.append(oid)
+        return (oids[0], oids[1], oids[2])
+
+    # -- membership helpers --------------------------------------------------------------
+
+    def _lookup_triple(self, triple: Triple) -> Optional[EncodedTriple]:
+        """Encode a ground triple without assigning new OIDs; ``None`` if unseen."""
+        dictionary = self.store.dictionary
+        s = dictionary.lookup_term(triple.subject)
+        p = dictionary.lookup_term(triple.predicate)
+        o = dictionary.lookup_term(triple.object)
+        if s is None or p is None or o is None:
+            return None
+        return EncodedTriple(s, p, o)
+
+    def _base_contains(self, encoded: EncodedTriple) -> bool:
+        store = self.store
+        if store.index_store is not None:
+            return store.index_store.contains(encoded)
+        matrix = store.matrix
+        if matrix.size == 0:
+            return False
+        # no exhaustive indexes: build a sorted packed-key view of the base
+        # once per request so bulk updates probe in O(log N) instead of
+        # scanning the whole matrix per triple
+        if self._base_bases is None:
+            base_s = int(matrix[:, 0].max()) + 1
+            base_p = int(matrix[:, 1].max()) + 1
+            base_o = int(matrix[:, 2].max()) + 1
+            if base_s * base_p * base_o <= (1 << 63) - 1:
+                self._base_bases = (base_p, base_o)
+                self._base_keys = np.sort(
+                    (matrix[:, 0] * base_p + matrix[:, 1]) * base_o + matrix[:, 2])
+            else:  # astronomically large OIDs: packing would overflow int64
+                self._base_bases = (0, 0)
+        if self._base_keys is None:
+            return bool(np.any((matrix[:, 0] == encoded.s)
+                               & (matrix[:, 1] == encoded.p)
+                               & (matrix[:, 2] == encoded.o)))
+        base_p, base_o = self._base_bases
+        if encoded.p >= base_p or encoded.o >= base_o:
+            return False  # a component the base has never seen
+        key = (encoded.s * base_p + encoded.p) * base_o + encoded.o
+        position = int(np.searchsorted(self._base_keys, key))
+        return position < self._base_keys.size and int(self._base_keys[position]) == key
+
+    def _is_live(self, encoded: EncodedTriple) -> bool:
+        """Whether the triple is visible right now (base ∪ delta − tombstones)."""
+        delta = self.store.require_delta()
+        if delta.contains_insert(*encoded):
+            return True
+        if delta.is_tombstoned(*encoded):
+            return False
+        return self._base_contains(encoded)

@@ -1,0 +1,36 @@
+"""Shared deterministic test datasets.
+
+A plain importable module (unlike ``conftest``, whose bare module name is
+ambiguous when tests and benchmarks run in one pytest invocation) so test
+files can use the canonical fixtures' data at import time without carrying
+private copies.
+"""
+
+from __future__ import annotations
+
+from repro.model import IRI, Literal, Triple
+from repro.model.terms import RDF_TYPE, XSD_INTEGER
+
+EX = "http://example.org/"
+
+
+def book_triples(books: int = 30, authors: int = 5, with_irregular: bool = True):
+    """A small, fully deterministic bibliographic graph used across tests."""
+    triples = []
+    type_pred = IRI(RDF_TYPE)
+    for i in range(authors):
+        author = IRI(f"{EX}author/{i}")
+        triples.append(Triple(author, type_pred, IRI(f"{EX}Person")))
+        triples.append(Triple(author, IRI(f"{EX}name"), Literal(f"Author {i}")))
+    for i in range(books):
+        book = IRI(f"{EX}book/{i}")
+        triples.append(Triple(book, type_pred, IRI(f"{EX}Book")))
+        triples.append(Triple(book, IRI(f"{EX}has_author"), IRI(f"{EX}author/{i % authors}")))
+        triples.append(Triple(book, IRI(f"{EX}in_year"),
+                              Literal(str(1990 + i % 15), datatype=XSD_INTEGER)))
+        triples.append(Triple(book, IRI(f"{EX}isbn_no"), Literal(f"isbn-{i:04d}")))
+    if with_irregular:
+        page = IRI(f"{EX}webpage/1")
+        triples.append(Triple(page, IRI(f"{EX}url"), Literal("index.php")))
+        triples.append(Triple(page, IRI(f"{EX}content"), Literal("content.php")))
+    return triples

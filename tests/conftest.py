@@ -14,32 +14,9 @@ from repro.bench import (
     tpch_to_triples,
 )
 from repro.cs import DiscoveryConfig, GeneralizationConfig
-from repro.model import Graph, IRI, Literal, Triple
-from repro.model.terms import RDF_TYPE, XSD_DATE, XSD_INTEGER
+from repro.model import Graph
 
-EX = "http://example.org/"
-
-
-def book_triples(books: int = 30, authors: int = 5, with_irregular: bool = True):
-    """A small, fully deterministic bibliographic graph used across tests."""
-    triples = []
-    type_pred = IRI(RDF_TYPE)
-    for i in range(authors):
-        author = IRI(f"{EX}author/{i}")
-        triples.append(Triple(author, type_pred, IRI(f"{EX}Person")))
-        triples.append(Triple(author, IRI(f"{EX}name"), Literal(f"Author {i}")))
-    for i in range(books):
-        book = IRI(f"{EX}book/{i}")
-        triples.append(Triple(book, type_pred, IRI(f"{EX}Book")))
-        triples.append(Triple(book, IRI(f"{EX}has_author"), IRI(f"{EX}author/{i % authors}")))
-        triples.append(Triple(book, IRI(f"{EX}in_year"),
-                              Literal(str(1990 + i % 15), datatype=XSD_INTEGER)))
-        triples.append(Triple(book, IRI(f"{EX}isbn_no"), Literal(f"isbn-{i:04d}")))
-    if with_irregular:
-        page = IRI(f"{EX}webpage/1")
-        triples.append(Triple(page, IRI(f"{EX}url"), Literal("index.php")))
-        triples.append(Triple(page, IRI(f"{EX}content"), Literal("content.php")))
-    return triples
+from _datasets import EX, book_triples  # noqa: F401 - re-exported for tests
 
 
 @pytest.fixture(scope="session")

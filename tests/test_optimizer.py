@@ -284,22 +284,7 @@ class TestPlanCache:
 
 
 def _book_triples():
-    """A private copy of the conftest book graph (importing `conftest` is
-    ambiguous when tests and benchmarks run in one pytest invocation)."""
-    from repro import Literal, Triple
-    from repro.model.terms import RDF_TYPE, XSD_INTEGER
+    """The shared book graph, without the irregular web-page subjects."""
+    from _datasets import book_triples
 
-    triples = []
-    type_pred = IRI(RDF_TYPE)
-    for i in range(5):
-        author = IRI(f"{EX}author/{i}")
-        triples.append(Triple(author, type_pred, IRI(f"{EX}Person")))
-        triples.append(Triple(author, IRI(f"{EX}name"), Literal(f"Author {i}")))
-    for i in range(30):
-        book = IRI(f"{EX}book/{i}")
-        triples.append(Triple(book, type_pred, IRI(f"{EX}Book")))
-        triples.append(Triple(book, IRI(f"{EX}has_author"), IRI(f"{EX}author/{i % 5}")))
-        triples.append(Triple(book, IRI(f"{EX}in_year"),
-                              Literal(str(1990 + i % 15), datatype=XSD_INTEGER)))
-        triples.append(Triple(book, IRI(f"{EX}isbn_no"), Literal(f"isbn-{i:04d}")))
-    return triples
+    return book_triples(with_irregular=False)

@@ -121,9 +121,8 @@ class TestRDFScanEquivalence:
 
     def test_range_constraint_consistency(self):
         ctx = _library_context()
-        low = ctx.encoder.literal_range_to_oids(Literal("1994", datatype=XSD_INTEGER),
-                                                Literal("1998", datatype=XSD_INTEGER))
-        year_range = OidRange(low[0], low[1])
+        year_range = ctx.encoder.literal_range(Literal("1994", datatype=XSD_INTEGER),
+                                               Literal("1998", datatype=XSD_INTEGER))
         default_result, _ = execute_plan(_default_plan(ctx, year_range), ctx)
         for use_zm in (False, True):
             scan_result, _ = execute_plan(RDFScanOp(_star(ctx, year_range), use_zone_maps=use_zm), ctx)
@@ -153,9 +152,8 @@ class TestRDFScanEquivalence:
 
     def test_zone_maps_reduce_page_reads(self):
         ctx = _library_context(with_dirty=False, zone_size=4)
-        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
-                                                   Literal("1991", datatype=XSD_INTEGER))
-        year_range = OidRange(bounds[0], bounds[1])
+        year_range = ctx.encoder.literal_range(Literal("1990", datatype=XSD_INTEGER),
+                                               Literal("1991", datatype=XSD_INTEGER))
         star_plain = _star(ctx, year_range)
         star_zoned = _star(ctx, year_range)
         ctx.pool.reset_cold()
@@ -207,12 +205,12 @@ class TestZoneMapPushdownHelpers:
         year_oid = _predicate(ctx, "in_year")
         block = next(b for b in store.blocks if b.has_property(year_oid))
         assert year_oid in block.sorted_properties
-        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
-                                                   Literal("1992", datatype=XSD_INTEGER))
-        subject_range = subject_range_for_property_range(block, year_oid, OidRange(bounds[0], bounds[1]))
+        year_range = ctx.encoder.literal_range(Literal("1990", datatype=XSD_INTEGER),
+                                               Literal("1992", datatype=XSD_INTEGER))
+        subject_range = subject_range_for_property_range(block, year_oid, year_range)
         assert subject_range is not None
         # every matching subject must fall inside the derived range
-        star = _star(ctx, OidRange(bounds[0], bounds[1]))
+        star = _star(ctx, year_range)
         result, _ = execute_plan(RDFScanOp(star), ctx)
         for subject in result.column("b"):
             assert subject_range.contains(int(subject))
@@ -232,12 +230,12 @@ class TestZoneMapPushdownHelpers:
         year_oid = _predicate(ctx, "in_year")
         author_oid = _predicate(ctx, "has_author")
         block = next(b for b in store.blocks if b.has_property(year_oid))
-        bounds = ctx.encoder.literal_range_to_oids(Literal("1990", datatype=XSD_INTEGER),
-                                                   Literal("1993", datatype=XSD_INTEGER))
-        fk_range = fk_range_from_zonemap(block, year_oid, OidRange(bounds[0], bounds[1]), author_oid)
+        year_range = ctx.encoder.literal_range(Literal("1990", datatype=XSD_INTEGER),
+                                               Literal("1993", datatype=XSD_INTEGER))
+        fk_range = fk_range_from_zonemap(block, year_oid, year_range, author_oid)
         assert fk_range is not None
         # the derived bound must cover every author actually referenced by matching books
-        star = _star(ctx, OidRange(bounds[0], bounds[1]))
+        star = _star(ctx, year_range)
         result, _ = execute_plan(RDFScanOp(star), ctx)
         for author in result.column("a"):
             assert fk_range.contains(int(author))
