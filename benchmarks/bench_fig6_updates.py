@@ -25,7 +25,7 @@ import pytest
 
 from repro import RDFStore, StoreConfig
 from repro.bench import DblpConfig, generate_dblp
-from repro.bench.dblp import CLASS_INPROCEEDINGS, DBLP, P_CREATOR, P_PART_OF, P_TITLE, VOC
+from repro.bench.dblp import CLASS_INPROCEEDINGS, DBLP, P_CREATOR, P_PART_OF, P_TITLE
 from repro.cs import DiscoveryConfig, GeneralizationConfig
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"

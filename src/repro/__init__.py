@@ -16,13 +16,15 @@ Typical use::
     print(store.decode_rows(result))
 """
 
-from .core import RDFStore, StoreConfig
+from .core import CheckpointReport, RDFStore, StoreConfig
 from .cs import DiscoveryConfig, EmergentSchema, GeneralizationConfig
 from .errors import (
     BenchmarkError,
     DictionaryError,
     ExecutionError,
     ParseError,
+    PendingUpdatesError,
+    PersistenceError,
     PlanError,
     ReproError,
     SchemaError,
@@ -36,13 +38,15 @@ from .sparql import (
     PlanCache,
     PlannerOptions,
 )
-from .updates import CompactionReport, DeltaStore, UpdateResult
+from .persist import SnapshotInfo, WriteAheadLog
+from .updates import CompactionReport, DeltaStore, UpdateJournal, UpdateResult
 
 __version__ = "0.1.0"
 
 __all__ = [
     "BNode",
     "BenchmarkError",
+    "CheckpointReport",
     "CompactionReport",
     "DEFAULT_SCHEME",
     "DeltaStore",
@@ -56,6 +60,8 @@ __all__ = [
     "Literal",
     "OPTIMIZED_SCHEME",
     "ParseError",
+    "PendingUpdatesError",
+    "PersistenceError",
     "PlanCache",
     "PlanError",
     "PlannerOptions",
@@ -63,9 +69,12 @@ __all__ = [
     "RDFStore",
     "ReproError",
     "SchemaError",
+    "SnapshotInfo",
     "StorageError",
     "StoreConfig",
     "Triple",
+    "UpdateJournal",
     "UpdateResult",
+    "WriteAheadLog",
     "__version__",
 ]

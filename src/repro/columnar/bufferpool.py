@@ -19,12 +19,15 @@ pages causes few misses, one that hops all over an index causes many.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable
+from typing import Dict, Iterable
 
 from .cost import CostTracker
 
 DEFAULT_PAGE_SIZE = 1024
 """Number of column values per logical page (8 KiB of 8-byte OIDs)."""
+
+VALUE_BYTES = 8
+"""Bytes per column value (int64 OIDs), used for memory accounting."""
 
 
 class BufferPool:
@@ -39,6 +42,12 @@ class BufferPool:
         self.page_size = page_size
         self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.tracker = CostTracker()
+        self.evictions = 0
+        """Lifetime count of pages evicted by LRU capacity pressure."""
+        self._lazy_registered: Dict[str, int] = {}
+        self._lazy_materialized: Dict[str, int] = {}
+        self.lazy_values_loaded = 0
+        """Total column values materialized from disk by lazy segments."""
 
     # -- cache state ---------------------------------------------------------
 
@@ -76,6 +85,71 @@ class BufferPool:
         if num_values <= 0:
             return 0
         return (num_values + self.page_size - 1) // self.page_size
+
+    # -- lazy-segment observability -------------------------------------------
+
+    def register_lazy_segment(self, segment_id: str, num_values: int) -> None:
+        """Announce an on-disk segment that will materialize on first scan.
+
+        Registration is pure bookkeeping (no pages are touched); it lets
+        :meth:`stats` report how much of a lazily opened database is still
+        on disk versus materialized in memory.
+        """
+        self._lazy_registered[segment_id] = int(num_values)
+
+    def unregister_lazy_segment(self, segment_id: str) -> None:
+        """Forget one lazy segment (its structure was replaced or dropped)."""
+        self._lazy_registered.pop(segment_id, None)
+        self._lazy_materialized.pop(segment_id, None)
+
+    def reset_lazy_registry(self) -> None:
+        """Forget every lazy segment.
+
+        Called when the physical structures are rebuilt in memory (compaction,
+        re-clustering, reload): the on-disk segments no longer back anything,
+        and keeping them registered would make ``stats()`` report stale
+        ``lazy_values_pending`` forever.  ``lazy_values_loaded`` is a lifetime
+        counter and survives.
+        """
+        self._lazy_registered.clear()
+        self._lazy_materialized.clear()
+
+    def note_materialized(self, segment_id: str, num_values: int) -> None:
+        """Record that a lazy segment's values were loaded from disk.
+
+        Deliberately *not* counted as ``page_reads``: the cold/hot cost
+        simulation already charges page misses when the materialized values
+        are scanned, and double-charging would skew Table-I-style
+        comparisons between a freshly built and a reopened store.
+        """
+        if segment_id not in self._lazy_materialized:
+            self._lazy_materialized[segment_id] = int(num_values)
+            self.lazy_values_loaded += int(num_values)
+
+    def stats(self) -> Dict[str, int]:
+        """Memory accounting and eviction/lazy-loading counters.
+
+        Returns a plain dictionary so callers (``RDFStore.explain``, the
+        persistence benchmark, monitoring) can render it without importing
+        pool internals.
+        """
+        cached = len(self._pages)
+        return {
+            "capacity_pages": self.capacity_pages,
+            "page_size": self.page_size,
+            "cached_pages": cached,
+            "resident_bytes": cached * self.page_size * VALUE_BYTES,
+            "capacity_bytes": self.capacity_pages * self.page_size * VALUE_BYTES,
+            "evictions": self.evictions,
+            "page_reads": self.tracker.page_reads,
+            "page_hits": self.tracker.page_hits,
+            "lazy_segments_registered": len(self._lazy_registered),
+            "lazy_segments_materialized": len(self._lazy_materialized),
+            "lazy_values_pending": sum(
+                count for segment, count in self._lazy_registered.items()
+                if segment not in self._lazy_materialized),
+            "lazy_values_loaded": self.lazy_values_loaded,
+        }
 
     # -- access --------------------------------------------------------------
 
@@ -125,3 +199,4 @@ class BufferPool:
         self._pages.move_to_end(key)
         while len(self._pages) > self.capacity_pages:
             self._pages.popitem(last=False)
+            self.evictions += 1

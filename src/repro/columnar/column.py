@@ -12,7 +12,7 @@ table) are encoded as :data:`NULL_OID`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +38,12 @@ class Column:
     pool:
         Buffer pool used for page accounting.  ``None`` disables accounting
         (useful in unit tests of pure logic).
+
+    A column may alternatively be created *lazy* (:meth:`Column.lazy`): it
+    then holds only a loader callable and its known length, and the backing
+    array is materialized — and validated — on the first access to
+    :attr:`data`.  Every read path goes through the :attr:`data` property,
+    so lazy columns behave identically to eager ones after the first touch.
     """
 
     def __init__(
@@ -48,18 +54,97 @@ class Column:
         pool: Optional[BufferPool] = None,
     ) -> None:
         self.segment_id = segment_id
-        self.data = np.ascontiguousarray(np.asarray(values, dtype=np.int64))
-        if self.data.ndim != 1:
-            raise StorageError(f"column {segment_id!r} must be one-dimensional")
         self.sorted_ascending = bool(sorted_ascending)
-        if self.sorted_ascending and len(self.data) > 1:
-            if not bool(np.all(self.data[:-1] <= self.data[1:])):
-                raise StorageError(f"column {segment_id!r} declared sorted but is not")
         self.pool = pool
+        self.stats = None
+        """Optional precomputed :class:`~repro.columnar.stats.ColumnStats`,
+        restored from a snapshot manifest so the optimizer can price plans
+        without materializing the column."""
+        self._loader: Optional[Callable[[], np.ndarray]] = None
+        self._length: Optional[int] = None
+        self._notify_pool = False
+        self._data: Optional[np.ndarray] = None
+        self._set_data(values)
+
+    @classmethod
+    def lazy(
+        cls,
+        segment_id: str,
+        loader: Callable[[], np.ndarray],
+        length: int,
+        sorted_ascending: bool = False,
+        pool: Optional[BufferPool] = None,
+        notify_pool: bool = True,
+    ) -> "Column":
+        """Create a column whose values load from ``loader`` on first access.
+
+        ``length`` must be the exact number of values the loader will
+        produce, so ``len()``, page counts and buffer-pool registration work
+        before materialization.  When ``notify_pool`` is true the column
+        registers itself with the pool's lazy-segment accounting (pass
+        ``False`` when a containing structure accounts for the load itself,
+        e.g. a triple table whose three columns share one matrix file).
+        """
+        column = cls.__new__(cls)
+        column.segment_id = segment_id
+        column.sorted_ascending = bool(sorted_ascending)
+        column.pool = pool
+        column.stats = None
+        column._loader = loader
+        column._length = int(length)
+        column._notify_pool = bool(notify_pool)
+        column._data = None
+        if pool is not None and notify_pool:
+            pool.register_lazy_segment(segment_id, int(length))
+        return column
+
+    # -- materialization ------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing int64 array, materializing a lazy column on demand."""
+        if self._data is None:
+            self._materialize()
+        return self._data
+
+    @data.setter
+    def data(self, values) -> None:
+        self._set_data(values)
+
+    def _set_data(self, values) -> None:
+        data = np.ascontiguousarray(np.asarray(values, dtype=np.int64))
+        if data.ndim != 1:
+            raise StorageError(f"column {self.segment_id!r} must be one-dimensional")
+        if self.sorted_ascending and data.shape[0] > 1:
+            if not bool(np.all(data[:-1] <= data[1:])):
+                raise StorageError(f"column {self.segment_id!r} declared sorted but is not")
+        self._data = data
+
+    def _materialize(self) -> None:
+        if self._loader is None:
+            raise StorageError(f"column {self.segment_id!r} has no data and no loader")
+        loaded = np.asarray(self._loader(), dtype=np.int64)
+        # validate the length *before* adopting the data: a failed guard
+        # must leave the column unmaterialized, not silently serving a
+        # wrong-length array on the next access
+        if self._length is not None and loaded.shape[0] != self._length:
+            raise StorageError(
+                f"column {self.segment_id!r} loader produced {loaded.shape[0]} values, "
+                f"expected {self._length}")
+        self._set_data(loaded)
+        if self.pool is not None and self._notify_pool:
+            self.pool.note_materialized(self.segment_id, int(self._data.shape[0]))
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the backing array is resident (always true for eager columns)."""
+        return self._data is not None
 
     # -- basics --------------------------------------------------------------
 
     def __len__(self) -> int:
+        if self._data is None and self._length is not None:
+            return self._length
         return int(self.data.shape[0])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

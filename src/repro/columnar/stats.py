@@ -50,6 +50,27 @@ class ColumnStats:
             max_value=int(non_null.max()),
         )
 
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        """JSON-ready form, persisted in snapshot manifests."""
+        return {
+            "rows": self.row_count,
+            "nulls": self.null_count,
+            "distinct": self.distinct_count,
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Optional[int]]) -> "ColumnStats":
+        """Rebuild stats persisted by :meth:`to_dict`."""
+        return cls(
+            row_count=int(payload["rows"]),
+            null_count=int(payload["nulls"]),
+            distinct_count=int(payload["distinct"]),
+            min_value=None if payload["min"] is None else int(payload["min"]),
+            max_value=None if payload["max"] is None else int(payload["max"]),
+        )
+
     def not_null_fraction(self) -> float:
         """Fraction of rows with a value (0 for an empty column)."""
         if self.row_count == 0:
@@ -506,7 +527,12 @@ class CardinalityEstimator:
         key = (block.cs_id, predicate_oid)
         if key not in self._column_stats_cache:
             if block.has_property(predicate_oid):
-                stats = ColumnStats.from_values(block.column(predicate_oid).data)
+                column = block.column(predicate_oid)
+                # a column reopened from a snapshot carries its persisted
+                # stats; prefer them so planning never forces materialization
+                stats = getattr(column, "stats", None)
+                if stats is None:
+                    stats = ColumnStats.from_values(column.data)
             else:
                 stats = None
             self._column_stats_cache[key] = stats
@@ -521,7 +547,11 @@ class CardinalityEstimator:
     def _subject_stats(self, cs_id: int) -> Optional[ColumnStats]:
         if cs_id not in self._subject_stats_cache:
             block = self._block_for(cs_id)
-            stats = ColumnStats.from_values(block.subject_column.data) if block is not None else None
+            stats = None
+            if block is not None:
+                stats = getattr(block.subject_column, "stats", None)
+                if stats is None:
+                    stats = ColumnStats.from_values(block.subject_column.data)
             self._subject_stats_cache[cs_id] = stats
         return self._subject_stats_cache[cs_id]
 

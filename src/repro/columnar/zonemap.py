@@ -83,6 +83,27 @@ class ZoneMap:
         """Build a zone map directly over a :class:`Column` (metadata op, not accounted)."""
         return cls.build(column.data, zone_size=zone_size)
 
+    # -- persistence ---------------------------------------------------------
+
+    def to_array(self) -> np.ndarray:
+        """Flatten the zones to an ``(n, 4)`` int64 array for snapshotting.
+
+        Columns are ``start_row, end_row, min_value, max_value`` — the
+        all-NULL sentinel (``min > max``) round-trips unchanged.
+        """
+        if not self.zones:
+            return np.empty((0, 4), dtype=np.int64)
+        return np.asarray(
+            [(z.start_row, z.end_row, z.min_value, z.max_value) for z in self.zones],
+            dtype=np.int64)
+
+    @classmethod
+    def from_array(cls, rows: np.ndarray, zone_size: int, total_rows: int) -> "ZoneMap":
+        """Rebuild a zone map persisted by :meth:`to_array`."""
+        matrix = np.asarray(rows, dtype=np.int64).reshape(-1, 4)
+        zones = [Zone(int(s), int(e), int(lo), int(hi)) for s, e, lo, hi in matrix]
+        return cls(zones, zone_size=zone_size, total_rows=total_rows)
+
     # -- pruning -------------------------------------------------------------
 
     def candidate_zones(self, low: Optional[int], high: Optional[int]) -> List[Zone]:

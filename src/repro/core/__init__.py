@@ -1,5 +1,5 @@
 """High-level facade: :class:`RDFStore` and its configuration."""
 
-from .store import RDFStore, StoreConfig
+from .store import CheckpointReport, RDFStore, StoreConfig
 
-__all__ = ["RDFStore", "StoreConfig"]
+__all__ = ["CheckpointReport", "RDFStore", "StoreConfig"]

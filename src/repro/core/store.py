@@ -23,11 +23,20 @@ WHERE``) against a :class:`~repro.updates.DeltaStore` overlay, every access
 path merges ``base ∪ delta − tombstones``, and :meth:`RDFStore.compact`
 folds the accumulated delta back into the clustered base storage with
 incremental emergent-schema maintenance (see ``docs/updates.md``).
+
+The store is also durable: :meth:`RDFStore.save` serializes the whole
+physical organization to a versioned on-disk database directory,
+:meth:`RDFStore.open` reopens it *without* re-running discovery or
+clustering (columns materialize lazily on first scan), every update on an
+attached store is written ahead to a crash-tolerant log, and
+:meth:`RDFStore.checkpoint` compacts + snapshots + truncates that log
+(see ``docs/persistence.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -35,8 +44,9 @@ import numpy as np
 from ..columnar import BufferPool, CostModel
 from ..cs import DiscoveryConfig, EmergentSchema, discover_schema
 from ..engine import ExecutionContext, execute_plan
-from ..errors import StorageError
+from ..errors import PendingUpdatesError, PersistenceError, ReproError, StorageError
 from ..model import Graph, IRI, TermDictionary, Triple
+from ..persist import SnapshotInfo, SnapshotReader, write_snapshot
 from ..rio import parse_rdf
 from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine, parse_update
 from ..sql import Catalog, SqlEngine, SqlResult
@@ -52,6 +62,7 @@ from ..updates import (
     CompactionReport,
     DeltaStore,
     UpdateApplier,
+    UpdateJournal,
     UpdateResult,
     compact_store,
 )
@@ -101,13 +112,29 @@ class StoreConfig:
                 f"got {self.plan_cache_size!r}")
 
 
+@dataclass(frozen=True)
+class CheckpointReport:
+    """Outcome of one :meth:`RDFStore.checkpoint`: compaction + snapshot."""
+
+    compaction: CompactionReport
+    snapshot: SnapshotInfo
+
+    def describe(self) -> str:
+        return (f"checkpoint: {self.compaction.describe()}; snapshot at "
+                f"{self.snapshot.path} ({self.snapshot.triples} triples, "
+                f"{self.snapshot.files} files, {self.snapshot.data_bytes} bytes)")
+
+
 class RDFStore:
     """Self-organizing RDF store: triples in, SQL/SPARQL out."""
 
     def __init__(self, config: Optional[StoreConfig] = None) -> None:
         self.config = config or StoreConfig()
         self.dictionary = TermDictionary()
-        self.matrix: np.ndarray = np.empty((0, 3), dtype=np.int64)
+        self._matrix_data: Optional[np.ndarray] = None
+        self._matrix_loader = None
+        self._matrix_rows: Optional[int] = None
+        self.matrix = np.empty((0, 3), dtype=np.int64)
         self.pool = BufferPool(capacity_pages=self.config.buffer_pool_pages,
                                page_size=self.config.page_size)
         self.schema: Optional[EmergentSchema] = None
@@ -117,6 +144,8 @@ class RDFStore:
         self.catalog: Optional[Catalog] = None
         self.plan_cache = PlanCache(capacity=self.config.plan_cache_size)
         self.delta = DeltaStore(schema=None, pool=self.pool)
+        self.journal = UpdateJournal()
+        self.db_path: Optional[Path] = None
         self._context: Optional[ExecutionContext] = None
         self._sparql_engine: Optional[SparqlEngine] = None
         self._clustered = False
@@ -175,12 +204,13 @@ class RDFStore:
 
         Raises:
             ParseError: when RDF text cannot be parsed.
-            StorageError: when uncompacted updates are pending — reloading
-                re-encodes OIDs and would silently drop acknowledged writes;
-                call :meth:`compact` first.
+            PendingUpdatesError: when uncompacted updates are pending —
+                reloading re-encodes OIDs and would silently drop
+                acknowledged writes; call :meth:`compact` first.
         """
         if self.has_pending_updates():
-            raise StorageError("cannot load with pending updates; call compact() first")
+            raise PendingUpdatesError(
+                "cannot load with pending updates; call compact() first")
         if isinstance(source, str):
             triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
         else:
@@ -188,6 +218,10 @@ class RDFStore:
         self.dictionary, self.matrix = encode_graph(triples, self.dictionary)
         self.matrix = value_order_literals(self.matrix, self.dictionary)
         self._invalidate()
+        # loading changes triple *content*, so any attached on-disk database
+        # no longer describes this store; detach rather than let the WAL
+        # collect records that would replay against the wrong base
+        self._detach_database()
         return int(self.matrix.shape[0])
 
     def discover_schema(self, config: Optional[DiscoveryConfig] = None) -> EmergentSchema:
@@ -225,13 +259,14 @@ class RDFStore:
             The :class:`ClusteringPlan` describing the OID re-assignment.
 
         Raises:
-            StorageError: when the schema has not been discovered yet, or
-                when uncompacted updates are pending (clustering remaps
-                subject OIDs, which would invalidate the delta — call
-                :meth:`compact` first).
+            StorageError: when the schema has not been discovered yet.
+            PendingUpdatesError: when uncompacted updates are pending
+                (clustering remaps subject OIDs, which would invalidate the
+                delta — call :meth:`compact` first).
         """
         if self.has_pending_updates():
-            raise StorageError("cannot re-cluster with pending updates; call compact() first")
+            raise PendingUpdatesError(
+                "cannot re-cluster with pending updates; call compact() first")
         schema = self.require_schema()
         resolved = dict(sort_keys or {})
         if sort_key_names:
@@ -249,6 +284,10 @@ class RDFStore:
         SPARQL engine are dropped alongside the execution context.
         """
         schema = self.schema
+        # rebuilding replaces every (possibly lazily loading) structure with
+        # eager in-memory ones; drop the stale lazy-segment bookkeeping so
+        # buffer_pool_stats() does not report dead segments as pending
+        self.pool.reset_lazy_registry()
         if self.config.build_exhaustive_indexes:
             self.index_store = ExhaustiveIndexStore(self.matrix, pool=self.pool)
         if schema is not None and self._clustered:
@@ -309,13 +348,52 @@ class RDFStore:
     def is_clustered(self) -> bool:
         return self._clustered
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """The base ``(n, 3)`` triple matrix.
+
+        On a store reopened from disk the matrix stays on disk until an
+        operation actually needs it (compaction, re-clustering,
+        re-discovery) — queries read the clustered store and projections,
+        never this array.
+        """
+        if self._matrix_data is None:
+            loaded = np.asarray(self._matrix_loader(), dtype=np.int64).reshape(-1, 3)
+            if self._matrix_rows is not None and loaded.shape[0] != self._matrix_rows:
+                raise StorageError(
+                    f"base matrix loader produced {loaded.shape[0]} rows, "
+                    f"expected {self._matrix_rows}")
+            self._matrix_data = loaded
+            self._matrix_loader = None
+            if self._matrix_rows is not None:
+                self.pool.note_materialized("base.matrix", int(loaded.size))
+        return self._matrix_data
+
+    @matrix.setter
+    def matrix(self, value: np.ndarray) -> None:
+        replacing_lazy = getattr(self, "_matrix_loader", None) is not None
+        self._matrix_data = value
+        self._matrix_loader = None
+        self._matrix_rows = None
+        if replacing_lazy:
+            self.pool.unregister_lazy_segment("base.matrix")
+
+    def _set_lazy_matrix(self, loader, rows: int) -> None:
+        """Defer the base matrix behind ``loader`` (snapshot restore path)."""
+        self._matrix_data = None
+        self._matrix_loader = loader
+        self._matrix_rows = int(rows)
+        self.pool.register_lazy_segment("base.matrix", rows * 3)
+
     def triple_count(self) -> int:
         """Triples in the base store (excluding pending writes)."""
+        if self._matrix_data is None and self._matrix_rows is not None:
+            return self._matrix_rows
         return int(self.matrix.shape[0])
 
     def live_triple_count(self) -> int:
         """Triples currently visible to queries: base ∪ delta − tombstones."""
-        return (int(self.matrix.shape[0]) + self.delta.insert_count()
+        return (self.triple_count() + self.delta.insert_count()
                 - self.delta.tombstone_count())
 
     def context(self) -> ExecutionContext:
@@ -397,6 +475,15 @@ class RDFStore:
         snapshot = self.delta.snapshot()
         try:
             result = UpdateApplier(self).apply(request)
+            if result.changed:
+                # journal only state-changing requests: the journal (and the
+                # attached WAL, when the store is durable) is what save() and
+                # crash recovery replay, and no-ops would just slow replay
+                # down.  Recording inside the try keeps apply + log atomic: a
+                # failed WAL append (disk full) rolls the request back, so a
+                # query can never observe an update that would not survive a
+                # crash.
+                self.journal.record(text)
         except Exception:
             self.delta.restore(snapshot)
             raise
@@ -443,6 +530,176 @@ class RDFStore:
                 self.catalog = Catalog(self.schema, self.dictionary)
             self.build_indexes()
         return report
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, path: Path | str) -> SnapshotInfo:
+        """Serialize the store into an on-disk database directory.
+
+        Writes the dictionary, schema, base matrix, every clustered column
+        and permutation projection (each as a checksummed binary file),
+        per-column statistics, zone maps and a manifest — then creates a
+        fresh write-ahead log for the new snapshot generation.  Pending
+        (uncompacted) updates are **not lost**: their request texts seed the
+        new WAL and are replayed by :meth:`open`.
+
+        Saving also *attaches* the store to ``path``: every subsequent
+        :meth:`update` is appended to the WAL (and fsynced) before it
+        returns, so acknowledged writes survive a crash.
+
+        Args:
+            path: target directory; created if missing.  An existing
+                directory is only overwritten when it already holds a repro
+                database (or is empty).
+
+        Returns:
+            A :class:`~repro.persist.SnapshotInfo` describing what was
+            written.
+
+        Raises:
+            PersistenceError: when the target exists but is not a repro
+                database directory.
+        """
+        info = write_snapshot(self, path, attach=True)
+        self.db_path = Path(path)
+        return info
+
+    @classmethod
+    def open(cls, path: Path | str, config: Optional[StoreConfig] = None,
+             into: Optional["RDFStore"] = None) -> "RDFStore":
+        """Reopen a saved database without rebuilding anything.
+
+        Restores the dictionary (with its value-order watermark), the
+        emergent schema, SQL catalog and registered reduced schemas, the
+        clustered store and permutation indexes, per-column statistics,
+        zone maps, predicate counts and the plan-cache generation — so the
+        optimizer prices and orders plans exactly as the saved store did.
+        Characteristic-set discovery and subject clustering are **not**
+        re-run, and column data stays on disk until a scan first touches it
+        (lazy loading; observe it via :meth:`buffer_pool_stats`).
+
+        Any intact write-ahead-log records are replayed in order, restoring
+        the delta overlay of updates applied (or still pending) after the
+        snapshot was taken.  Replay stops at the first torn or corrupt
+        record — exactly the tail a crash mid-append can leave behind.
+
+        Args:
+            path: the database directory written by :meth:`save`.
+            config: optional configuration override; defaults to the
+                configuration persisted in the manifest (discovery
+                thresholds fall back to defaults — they only matter for
+                explicit re-discovery).
+            into: an existing store to reopen in place (its state is
+                replaced wholesale).  Mostly useful to re-point a served
+                store at a new snapshot without rewiring references.
+
+        Returns:
+            The opened store (``into`` when given, else a new instance).
+
+        Raises:
+            PersistenceError: when the directory is missing, corrupt,
+                version-incompatible, or its WAL belongs to a different
+                snapshot generation.
+            PendingUpdatesError: when ``into`` still holds uncompacted
+                writes — replacing its state would silently drop them.
+        """
+        if into is not None and into.has_pending_updates():
+            raise PendingUpdatesError(
+                "cannot reopen into a store with pending updates; call compact() "
+                "(or checkpoint()) on it first")
+        reader = SnapshotReader(path)
+        if config is None:
+            config = cls._config_from_manifest(reader.config_dict())
+        # always assemble on a fresh instance: with into=, the served store's
+        # state is swapped in only after every read succeeded, so a corrupt
+        # snapshot raises without destroying the store that was serving
+        store = cls.__new__(cls)
+        RDFStore.__init__(store, config)
+        store.dictionary = reader.read_dictionary()
+        store._set_lazy_matrix(reader.matrix_loader(), reader.matrix_rows())
+        store.schema = reader.read_schema()
+        if store.schema is not None:
+            store.catalog = Catalog(store.schema, store.dictionary)
+            store.catalog.restore_reduced_schemas(reader.manifest.get("reduced_schemas", {}))
+            store.delta.attach_schema(store.schema)
+        store.index_store = reader.build_index_store(store.pool)
+        store.clustered_store = reader.build_clustered_store(store.pool, store.schema)
+        store._clustered = bool(reader.manifest["clustered"])
+        wal = reader.wal()
+        store.journal.attach_wal(wal)
+        with store.journal.replaying():
+            replayed = 0
+            for text in wal.replay_texts():
+                try:
+                    store.update(text)
+                except ReproError as exc:
+                    # a CRC-intact record that fails to re-apply means the
+                    # database needs a different build (e.g. a newer update
+                    # dialect); surface it under the documented error type
+                    raise PersistenceError(
+                        f"WAL record {replayed} failed to replay: {exc}") from exc
+                replayed += 1
+        # restore the plan-cache generation *after* replay (each replayed
+        # update bumps it).  The manifest's generation already accounts for
+        # the records that were pending at save time; records appended after
+        # the save each bumped the original store by one more.
+        seeded = int(reader.manifest.get("wal_seeded_records", 0))
+        store.plan_cache.generation = (int(reader.manifest["plan_cache_generation"])
+                                       + max(0, replayed - seeded))
+        store.db_path = Path(path)
+        if into is not None:
+            into.__dict__.clear()
+            into.__dict__.update(store.__dict__)
+            return into
+        return store
+
+    def checkpoint(self, path: Optional[Path | str] = None) -> "CheckpointReport":
+        """Compact, snapshot and truncate the WAL in one durable step.
+
+        This is the maintenance operation a long-running writable store
+        needs periodically: :meth:`compact` folds the delta into base
+        storage, :meth:`save` writes the merged state as a new snapshot
+        generation, and the fresh (empty) WAL replaces the old one — replay
+        after the checkpoint starts from the new snapshot.
+
+        Args:
+            path: target directory; defaults to the attached database
+                (from a previous :meth:`save` / :meth:`open`).
+
+        Returns:
+            A :class:`CheckpointReport` bundling the compaction report and
+            the snapshot info.
+
+        Raises:
+            PersistenceError: when no path is given and the store is not
+                attached to a database.
+        """
+        target = Path(path) if path is not None else self.db_path
+        if target is None:
+            raise PersistenceError(
+                "store is not attached to a database; pass a path or call save() first")
+        compaction = self.compact()
+        snapshot = self.save(target)
+        return CheckpointReport(compaction=compaction, snapshot=snapshot)
+
+    def _detach_database(self) -> None:
+        """Forget the attached on-disk database (content has diverged)."""
+        self.db_path = None
+        self.journal.attach_wal(None)
+        self.journal.clear()
+
+    @staticmethod
+    def _config_from_manifest(saved: Dict[str, object]) -> StoreConfig:
+        cost_model = CostModel(**saved.get("cost_model", {}))
+        return StoreConfig(
+            buffer_pool_pages=int(saved["buffer_pool_pages"]),
+            page_size=int(saved["page_size"]),
+            zone_size=int(saved["zone_size"]),
+            build_exhaustive_indexes=bool(saved["build_exhaustive_indexes"]),
+            build_zone_maps=bool(saved["build_zone_maps"]),
+            plan_cache_size=int(saved["plan_cache_size"]),
+            cost_model=cost_model,
+        )
 
     # -- querying ----------------------------------------------------------------------
 
@@ -500,7 +757,10 @@ class RDFStore:
         Returns:
             A multi-line string: a header with the effective options
             followed by the indented operator tree, each line carrying
-            ``est=…`` (and ``actual=…`` after execution).
+            ``est=…`` (and ``actual=…`` after execution).  With
+            ``analyze=True`` a ``buffers:`` line reports the pool's memory
+            accounting — cached pages, evictions and how much of a lazily
+            opened database the run materialized.
         """
         options = options or PlannerOptions()
         _query, plan = self.sparql_engine().prepare(text, options)
@@ -508,11 +768,26 @@ class RDFStore:
         if analyze:
             _bindings, cost = execute_plan(plan, self.context())
             header += f" {cost.describe()}"
+            stats = self.pool.stats()
+            header += (
+                "\nbuffers: cached_pages={cached_pages} resident_bytes={resident_bytes}"
+                " evictions={evictions} reads={page_reads} hits={page_hits}"
+                " lazy_materialized={lazy_segments_materialized}/{lazy_segments_registered}"
+                " lazy_values_loaded={lazy_values_loaded}".format(**stats))
         return header + "\n" + plan.explain()
 
     def plan_cache_stats(self) -> Dict[str, int]:
-        """Plan-cache counters: size, capacity, hits, misses, evictions."""
+        """Plan-cache counters: size, capacity, hits, misses, evictions,
+        and the invalidation generation."""
         return self.plan_cache.stats()
+
+    def buffer_pool_stats(self) -> Dict[str, int]:
+        """Buffer-pool memory accounting and lazy-loading counters.
+
+        See :meth:`repro.columnar.BufferPool.stats`; this is how lazy
+        column loading after :meth:`open` is observed (``lazy_*`` keys).
+        """
+        return self.pool.stats()
 
     def sql(self, text: str) -> SqlResult:
         """Run a SQL query against the emergent relational view.
@@ -564,4 +839,8 @@ class RDFStore:
             summary["irregular_triples"] = len(self.clustered_store.irregular)
         if self.has_pending_updates():
             summary.update(self.delta.summary())
+        if self.db_path is not None:
+            summary["database"] = str(self.db_path)
+            if self.journal.wal is not None:
+                summary["wal_records"] = self.journal.wal.record_count()
         return summary

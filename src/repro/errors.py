@@ -45,6 +45,22 @@ class StorageError(ReproError):
     """Raised for invalid operations on triple / clustered storage."""
 
 
+class PendingUpdatesError(StorageError):
+    """Raised when an operation would silently drop uncompacted writes.
+
+    ``RDFStore.load()`` and ``RDFStore.cluster()`` re-encode OIDs, and
+    ``RDFStore.open(..., into=store)`` replaces a store's state wholesale;
+    doing any of these while the delta overlay holds acknowledged writes
+    would lose them.  Call ``compact()`` (or ``checkpoint()``) first.
+    """
+
+
+class PersistenceError(StorageError):
+    """Raised when an on-disk snapshot or WAL is missing, corrupt or
+    incompatible (bad magic, unsupported format version, checksum
+    mismatch, or a target directory that is not a repro database)."""
+
+
 class SchemaError(ReproError):
     """Raised when schema discovery or the relational catalog is misused."""
 

@@ -115,6 +115,38 @@ class TermDictionary:
         for oid, term in enumerate(self._oid_to_term):
             yield term, oid
 
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def restore(cls, terms: Iterable[Term], value_order_watermark: int = 0) -> "TermDictionary":
+        """Rebuild a dictionary from terms listed in OID order.
+
+        Used by the snapshot reader: the persisted term file lists one term
+        per OID, so re-enumerating it reproduces the exact OID assignment
+        (including the value-ordered literal permutation) without re-running
+        any ordering pass.
+
+        Raises
+        ------
+        DictionaryError
+            If the term list contains duplicates (the file is corrupt: a
+            dictionary is a bijection).
+        """
+        dictionary = cls()
+        for oid, term in enumerate(terms):
+            if term in dictionary._term_to_oid:
+                raise DictionaryError(
+                    f"duplicate term at OID {oid}: {term!r} already has OID "
+                    f"{dictionary._term_to_oid[term]}")
+            dictionary._term_to_oid[term] = oid
+            dictionary._oid_to_term.append(term)
+        if not 0 <= value_order_watermark <= len(dictionary._oid_to_term):
+            raise DictionaryError(
+                f"value-order watermark {value_order_watermark} out of range for "
+                f"{len(dictionary._oid_to_term)} terms")
+        dictionary._value_order_watermark = int(value_order_watermark)
+        return dictionary
+
     # -- re-mapping ----------------------------------------------------------
 
     def remap(self, mapping: Dict[int, int]) -> None:

@@ -1,0 +1,142 @@
+"""JSON codec for the emergent schema.
+
+The schema is the one structure that is genuinely expensive to recreate —
+it is the output of characteristic-set discovery — so the snapshot persists
+it in full: every table with its property specs and member subjects, the
+foreign-key graph, coverage accounting and the irregular-subject list.
+``subject_to_cs`` is not stored; it is exactly the inverse of the tables'
+subject lists and is rebuilt on decode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cs import EmergentSchema
+from ..cs.schema_model import (
+    CharacteristicSet,
+    ForeignKey,
+    Multiplicity,
+    PropertyKind,
+    PropertySpec,
+    SchemaCoverage,
+)
+from ..errors import PersistenceError
+
+
+def schema_to_dict(schema: EmergentSchema) -> dict:
+    """Serialize an :class:`EmergentSchema` to a JSON-ready dictionary."""
+    return {
+        "tables": [_table_to_dict(table) for table in schema.tables.values()],
+        "foreign_keys": [
+            {
+                "source_cs": fk.source_cs,
+                "predicate_oid": fk.predicate_oid,
+                "target_cs": fk.target_cs,
+                "confidence": fk.confidence,
+            }
+            for fk in schema.foreign_keys
+        ],
+        "coverage": {
+            "total_triples": schema.coverage.total_triples,
+            "covered_triples": schema.coverage.covered_triples,
+            "total_subjects": schema.coverage.total_subjects,
+            "covered_subjects": schema.coverage.covered_subjects,
+        },
+        "irregular_subjects": list(schema.irregular_subjects),
+    }
+
+
+def schema_from_dict(payload: dict) -> EmergentSchema:
+    """Rebuild a schema persisted by :func:`schema_to_dict`."""
+    try:
+        schema = EmergentSchema()
+        for table_payload in payload["tables"]:
+            table = _table_from_dict(table_payload)
+            schema.tables[table.cs_id] = table
+            for subject in table.subjects:
+                schema.subject_to_cs[subject] = table.cs_id
+        schema.foreign_keys = [
+            ForeignKey(
+                source_cs=int(fk["source_cs"]),
+                predicate_oid=int(fk["predicate_oid"]),
+                target_cs=int(fk["target_cs"]),
+                confidence=float(fk["confidence"]),
+            )
+            for fk in payload["foreign_keys"]
+        ]
+        coverage = payload["coverage"]
+        schema.coverage = SchemaCoverage(
+            total_triples=int(coverage["total_triples"]),
+            covered_triples=int(coverage["covered_triples"]),
+            total_subjects=int(coverage["total_subjects"]),
+            covered_subjects=int(coverage["covered_subjects"]),
+        )
+        schema.irregular_subjects = [int(s) for s in payload["irregular_subjects"]]
+        return schema
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"malformed schema payload: {exc}") from exc
+
+
+# -- tables -------------------------------------------------------------------
+
+
+def _table_to_dict(table: CharacteristicSet) -> dict:
+    return {
+        "cs_id": table.cs_id,
+        "label": table.label,
+        "support": table.support,
+        "indirect_support": table.indirect_support,
+        "merged_from": list(table.merged_from),
+        "type_signature": list(table.type_signature),
+        "subjects": [int(s) for s in table.subjects],
+        "properties": [_spec_to_dict(spec) for spec in table.properties.values()],
+    }
+
+
+def _table_from_dict(payload: dict) -> CharacteristicSet:
+    properties: Dict[int, PropertySpec] = {}
+    for spec_payload in payload["properties"]:
+        spec = _spec_from_dict(spec_payload)
+        properties[spec.predicate_oid] = spec
+    return CharacteristicSet(
+        cs_id=int(payload["cs_id"]),
+        properties=properties,
+        subjects=[int(s) for s in payload["subjects"]],
+        support=int(payload["support"]),
+        indirect_support=int(payload["indirect_support"]),
+        label=str(payload["label"]),
+        merged_from=[int(m) for m in payload["merged_from"]],
+        type_signature=tuple(tuple(e) if isinstance(e, list) else e
+                             for e in payload["type_signature"]),
+    )
+
+
+def _spec_to_dict(spec: PropertySpec) -> dict:
+    return {
+        "predicate_oid": spec.predicate_oid,
+        "multiplicity": spec.multiplicity.value,
+        "kind": spec.kind.value,
+        "presence": spec.presence,
+        "mean_multiplicity": spec.mean_multiplicity,
+        "fk_target_cs": spec.fk_target_cs,
+        "fk_confidence": spec.fk_confidence,
+        "label": spec.label,
+    }
+
+
+def _spec_from_dict(payload: dict) -> PropertySpec:
+    return PropertySpec(
+        predicate_oid=int(payload["predicate_oid"]),
+        multiplicity=Multiplicity(payload["multiplicity"]),
+        kind=PropertyKind(payload["kind"]),
+        presence=float(payload["presence"]),
+        mean_multiplicity=float(payload["mean_multiplicity"]),
+        fk_target_cs=_opt_int(payload["fk_target_cs"]),
+        fk_confidence=float(payload["fk_confidence"]),
+        label=str(payload["label"]),
+    )
+
+
+def _opt_int(value) -> Optional[int]:
+    return None if value is None else int(value)

@@ -1,0 +1,555 @@
+"""Snapshot writer and reader: the versioned on-disk database format.
+
+A *database directory* holds a manifest pointing at the current snapshot
+**generation** — a subdirectory named after the snapshot epoch::
+
+    <db>/
+      MANIFEST.json          -- format version, config, checksums, metadata,
+                             -- and the name of the live generation
+      gen-<epoch>/
+        dictionary.nt        -- one Term.n3() line per OID, in OID order
+        schema.json          -- emergent schema (tables, FKs, coverage)
+        matrix.bin           -- base (n, 3) triple matrix, storage order
+        wal.log              -- write-ahead log (see repro.persist.wal)
+        columns/             -- one checksummed array file per column
+          hsp.<order>.bin    -- the six sorted permutation projections
+          clustered.cs<I>.subject.bin
+          clustered.cs<I>.p<P>.bin
+          clustered.irregular.bin
+        zonemaps/
+          cs<I>.p<P>.bin     -- (zones, 4) start/end/min/max tables
+
+A save writes the complete new generation first (every file fsynced),
+publishes it by atomically rewriting the manifest, and only then removes
+superseded generations.  The previous snapshot — including its WAL and
+every acknowledged update in it — therefore survives intact until the new
+one is fully durable: a crash at any point leaves either the old
+generation or the new one openable, never a torn mixture.  Every array
+file additionally embeds a CRC that is verified when the file is read —
+eagerly at open for small metadata, lazily at first scan for columns.
+
+The reader rebuilds every structure **without recomputation**: the
+dictionary is re-enumerated (not re-encoded), the schema is decoded (not
+re-discovered), projections and clustered columns are registered as lazy
+loaders (not re-sorted or re-clustered), and per-column statistics, zone
+maps and predicate counts come straight from the manifest so the
+cost-based optimizer prices plans exactly as it did before the save.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shutil
+import uuid
+from datetime import datetime, timezone
+from json import dumps as json_dumps, loads as json_loads
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..columnar import BufferPool, Column, ZoneMap
+from ..columnar.stats import ColumnStats
+from ..cs import EmergentSchema
+from ..errors import PersistenceError
+from ..model import TermDictionary
+from ..rio import parse_term
+from ..storage import ClusteredStore, ExhaustiveIndexStore, TripleTable
+from ..storage.clustered import CSBlock
+from .io import (
+    fsync_dir,
+    read_array,
+    read_json,
+    read_text,
+    write_array,
+    write_json_atomic,
+    write_text,
+)
+from .schema_codec import schema_from_dict, schema_to_dict
+from .wal import WriteAheadLog
+
+FORMAT_NAME = "repro-db"
+FORMAT_VERSION = 1
+MANIFEST_FILE = "MANIFEST.json"
+DICTIONARY_FILE = "dictionary.nt"
+SCHEMA_FILE = "schema.json"
+MATRIX_FILE = "matrix.bin"
+WAL_FILE = "wal.log"
+COLUMNS_DIR = "columns"
+ZONEMAPS_DIR = "zonemaps"
+GENERATION_PREFIX = "gen-"
+
+
+def generation_dir(root: Path | str, manifest: dict) -> Path:
+    """The live generation directory named by a manifest."""
+    name = manifest.get("generation")
+    if not isinstance(name, str) or not name.startswith(GENERATION_PREFIX):
+        raise PersistenceError(f"manifest of {root} names no valid generation")
+    return Path(root) / name
+
+
+def wal_path(root: Path | str) -> Path:
+    """The live WAL file of a database directory (reads the manifest)."""
+    root = Path(root)
+    manifest = read_json(root / MANIFEST_FILE)
+    return generation_dir(root, manifest) / manifest["wal_file"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotInfo:
+    """What one save produced: location, identity and rough size."""
+
+    path: str
+    epoch: str
+    generation: str
+    triples: int
+    terms: int
+    files: int
+    data_bytes: int
+    pending_updates_logged: int
+
+    def wal_path(self) -> Path:
+        """The WAL file belonging to this snapshot generation."""
+        return Path(self.path) / self.generation / WAL_FILE
+
+
+# -- writing ------------------------------------------------------------------
+
+
+def write_snapshot(store, path: Path | str, attach: bool = False) -> SnapshotInfo:
+    """Serialize a store's base state (and journal) into a database directory.
+
+    The delta overlay is *not* serialized as data: pending update requests
+    are appended to the fresh WAL instead, and replay at open reproduces
+    the delta exactly.  See :mod:`repro.updates.journal`.
+
+    The new generation is written completely before the manifest publishes
+    it; superseded generations are removed only afterwards, so a crash at
+    any point leaves an openable database.
+
+    With ``attach=True`` the freshly created WAL handle is attached to the
+    store's journal (what ``RDFStore.save`` wants); the default leaves the
+    store untouched, which is what tests snapshotting shared fixtures rely
+    on.
+    """
+    root = Path(path)
+    _prepare_directory(root)
+    previous_generation = None
+    if (root / MANIFEST_FILE).exists():
+        try:
+            previous_generation = read_json(root / MANIFEST_FILE).get("generation")
+        except PersistenceError:
+            previous_generation = None
+    epoch = uuid.uuid4().hex
+    generation = f"{GENERATION_PREFIX}{epoch[:12]}"
+    gen_dir = root / generation
+    columns_dir = gen_dir / COLUMNS_DIR
+    zonemaps_dir = gen_dir / ZONEMAPS_DIR
+    columns_dir.mkdir(parents=True)
+    zonemaps_dir.mkdir()
+
+    files = 0
+    data_bytes = 0
+
+    def _note(file_path: Path) -> None:
+        nonlocal files, data_bytes
+        files += 1
+        data_bytes += file_path.stat().st_size
+
+    # dictionary: one n3 line per OID
+    term_lines = "".join(term.n3() + "\n" for term in store.dictionary.terms())
+    dict_crc = write_text(gen_dir / DICTIONARY_FILE, term_lines)
+    _note(gen_dir / DICTIONARY_FILE)
+
+    # base matrix
+    matrix = np.asarray(store.matrix, dtype=np.int64).reshape(-1, 3)
+    matrix_crc = write_array(gen_dir / MATRIX_FILE, matrix)
+    _note(gen_dir / MATRIX_FILE)
+
+    # schema
+    schema_entry = None
+    if store.schema is not None:
+        schema_text = json_dumps(schema_to_dict(store.schema), indent=2, sort_keys=True)
+        schema_crc = write_text(gen_dir / SCHEMA_FILE, schema_text)
+        _note(gen_dir / SCHEMA_FILE)
+        schema_entry = {"file": SCHEMA_FILE, "crc": schema_crc}
+
+    index_entry = _write_index_store(store.index_store, columns_dir, _note)
+    clustered_entry = _write_clustered_store(store.clustered_store, columns_dir,
+                                             zonemaps_dir, _note)
+
+    # a fresh WAL for this snapshot generation, seeded with any updates that
+    # are still pending (so a save with an uncompacted delta loses nothing)
+    wal = WriteAheadLog.create(gen_dir / WAL_FILE, epoch)
+    pending_texts = store.journal.texts() if store.has_pending_updates() else []
+    for text in pending_texts:
+        wal.append(text)
+    _note(gen_dir / WAL_FILE)
+
+    # make the generation's directory entries durable before publishing it
+    for directory in (columns_dir, zonemaps_dir, gen_dir):
+        fsync_dir(directory)
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+        "epoch": epoch,
+        "generation": generation,
+        "wal_file": WAL_FILE,
+        "config": _config_to_dict(store.config),
+        "triples": int(matrix.shape[0]),
+        "terms": len(store.dictionary),
+        "value_order_watermark": store.dictionary.value_order_watermark,
+        "clustered": bool(store.is_clustered),
+        "plan_cache_generation": int(store.plan_cache.generation),
+        "wal_seeded_records": len(pending_texts),
+        "dictionary": {"file": DICTIONARY_FILE, "crc": dict_crc,
+                       "terms": len(store.dictionary)},
+        "matrix": {"file": MATRIX_FILE, "crc": matrix_crc,
+                   "rows": int(matrix.shape[0])},
+        "schema": schema_entry,
+        "reduced_schemas": (store.catalog.reduced_schemas_state()
+                            if store.catalog is not None else {}),
+        "index": index_entry,
+        "clustered_store": clustered_entry,
+    }
+    write_json_atomic(root / MANIFEST_FILE, manifest)  # the publish point
+    _note(root / MANIFEST_FILE)
+
+    _remove_superseded_generations(
+        root, keep={generation, previous_generation} - {None})
+
+    if attach:
+        store.journal.attach_wal(wal)
+
+    return SnapshotInfo(
+        path=str(root),
+        epoch=epoch,
+        generation=generation,
+        triples=int(matrix.shape[0]),
+        terms=len(store.dictionary),
+        files=files,
+        data_bytes=data_bytes,
+        pending_updates_logged=len(pending_texts),
+    )
+
+
+def _prepare_directory(root: Path) -> None:
+    """Create the target directory, refusing to clobber foreign content.
+
+    A directory is writable when it is empty, is a published database
+    (has a manifest), or holds nothing but this format's own debris —
+    generation directories and a leftover manifest temp file, which is
+    what an interrupted first ``save()`` leaves behind.  Anything else is
+    someone else's data and is never touched.
+    """
+    if root.exists():
+        if not root.is_dir():
+            raise PersistenceError(f"{root} exists and is not a directory")
+        foreign = [entry.name for entry in root.iterdir()
+                   if not _is_own_entry(entry)]
+        if foreign:
+            raise PersistenceError(
+                f"{root} holds non-database content ({', '.join(sorted(foreign)[:5])}); "
+                "refusing to overwrite a directory that is not a repro database")
+    else:
+        root.mkdir(parents=True)
+
+
+def _is_own_entry(entry: Path) -> bool:
+    if entry.name in (MANIFEST_FILE, MANIFEST_FILE + ".tmp"):
+        return True
+    return entry.is_dir() and entry.name.startswith(GENERATION_PREFIX)
+
+
+def _remove_superseded_generations(root: Path, keep: set) -> None:
+    """Delete generation directories not in ``keep`` (the newly published
+    generation and the one the previous manifest named).
+
+    Runs only *after* the manifest publish, so a crash at any earlier
+    point leaves the previous generation (snapshot + WAL) fully intact.
+    The immediately preceding *published* generation is kept on disk one
+    cycle longer: another store handle opened against it may still hold
+    unmaterialized lazy loaders into its files, and deleting it under that
+    handle would turn its next scan into a ``PersistenceError``.  (A
+    database is still meant to have one writer; retention just bounds the
+    blast radius of a concurrent reader to *two* checkpoints instead of
+    one.)  Debris from interrupted saves — generation directories no
+    manifest ever named — is removed outright.  Removal failures are
+    ignored: an orphaned generation is garbage, not corruption, and the
+    next save retries.
+    """
+    for entry in root.iterdir():
+        if entry.is_dir() and entry.name.startswith(GENERATION_PREFIX) \
+                and entry.name not in keep:
+            shutil.rmtree(entry, ignore_errors=True)
+    fsync_dir(root)
+
+
+def _write_index_store(index_store, columns_dir: Path, note) -> Optional[dict]:
+    if index_store is None:
+        return None
+    orders: Dict[str, dict] = {}
+    for order, table in index_store.tables.items():
+        file_name = f"hsp.{order}.bin"
+        crc = write_array(columns_dir / file_name, table.raw())
+        note(columns_dir / file_name)
+        orders[order] = {"file": file_name, "rows": len(table), "crc": crc}
+    return {
+        "name": index_store.name,
+        "orders": orders,
+        "predicate_counts": {str(p): int(c)
+                             for p, c in index_store.predicate_counts().items()},
+    }
+
+
+def _write_clustered_store(clustered, columns_dir: Path, zonemaps_dir: Path,
+                           note) -> Optional[dict]:
+    if clustered is None:
+        return None
+    blocks: List[dict] = []
+    for block in clustered.blocks:
+        subject_file = f"clustered.cs{block.cs_id}.subject.bin"
+        subject_crc = write_array(columns_dir / subject_file, block.subject_column.data)
+        note(columns_dir / subject_file)
+        columns: Dict[str, dict] = {}
+        for predicate_oid, column in block.property_columns.items():
+            file_name = f"clustered.cs{block.cs_id}.p{predicate_oid}.bin"
+            crc = write_array(columns_dir / file_name, column.data)
+            note(columns_dir / file_name)
+            columns[str(predicate_oid)] = {
+                "file": file_name,
+                "crc": crc,
+                "stats": ColumnStats.from_values(column.data).to_dict(),
+            }
+        zone_maps: Dict[str, dict] = {}
+        for predicate_oid, zone_map in block.zone_maps.items():
+            file_name = f"cs{block.cs_id}.p{predicate_oid}.bin"
+            crc = write_array(zonemaps_dir / file_name, zone_map.to_array())
+            note(zonemaps_dir / file_name)
+            zone_maps[str(predicate_oid)] = {
+                "file": file_name,
+                "crc": crc,
+                "zone_size": zone_map.zone_size,
+                "total_rows": zone_map.total_rows,
+            }
+        blocks.append({
+            "cs_id": block.cs_id,
+            "label": block.label,
+            "rows": len(block),
+            "subject": {
+                "file": subject_file,
+                "crc": subject_crc,
+                "stats": ColumnStats.from_values(block.subject_column.data).to_dict(),
+            },
+            "columns": columns,
+            "zone_maps": zone_maps,
+            "sorted_properties": sorted(int(p) for p in block.sorted_properties),
+        })
+    irregular_file = "clustered.irregular.bin"
+    irregular_crc = write_array(columns_dir / irregular_file, clustered.irregular.raw())
+    note(columns_dir / irregular_file)
+    return {
+        "name": "clustered",
+        "blocks": blocks,
+        "irregular": {"file": irregular_file,
+                      "rows": len(clustered.irregular),
+                      "crc": irregular_crc},
+    }
+
+
+def _config_to_dict(config) -> dict:
+    return {
+        "buffer_pool_pages": config.buffer_pool_pages,
+        "page_size": config.page_size,
+        "zone_size": config.zone_size,
+        "build_exhaustive_indexes": config.build_exhaustive_indexes,
+        "build_zone_maps": config.build_zone_maps,
+        "plan_cache_size": config.plan_cache_size,
+        "cost_model": dataclasses.asdict(config.cost_model),
+    }
+
+
+# -- reading ------------------------------------------------------------------
+
+
+class SnapshotReader:
+    """Decode one database directory into live (lazily loading) structures.
+
+    The reader is deliberately store-agnostic: it returns plain components
+    (dictionary, matrix, schema, stores, WAL) and ``RDFStore.open``
+    assembles them.  That keeps this package importable from the storage
+    layer without a cycle through :mod:`repro.core`.
+    """
+
+    def __init__(self, path: Path | str) -> None:
+        self.root = Path(path)
+        manifest_path = self.root / MANIFEST_FILE
+        if not manifest_path.exists():
+            raise PersistenceError(
+                f"{self.root} is not a repro database (no {MANIFEST_FILE})")
+        self.manifest = read_json(manifest_path)
+        if self.manifest.get("format") != FORMAT_NAME:
+            raise PersistenceError(f"{manifest_path} is not a {FORMAT_NAME} manifest")
+        version = self.manifest.get("format_version")
+        if version != FORMAT_VERSION:
+            raise PersistenceError(
+                f"database format v{version} is not supported by this build "
+                f"(expected v{FORMAT_VERSION})")
+        self.base = generation_dir(self.root, self.manifest)
+        if not self.base.is_dir():
+            raise PersistenceError(
+                f"database {self.root} names generation {self.base.name} but the "
+                "directory is missing; the database is incomplete")
+
+    # -- components -----------------------------------------------------------
+
+    def config_dict(self) -> dict:
+        """The saved store configuration (flat fields + cost model)."""
+        return dict(self.manifest["config"])
+
+    def read_dictionary(self) -> TermDictionary:
+        entry = self.manifest["dictionary"]
+        text = read_text(self.base / entry["file"], expect_crc=entry["crc"])
+        terms = [parse_term(line, lineno=lineno)
+                 for lineno, line in enumerate(text.split("\n"), start=1)
+                 if line.strip()]
+        if len(terms) != entry["terms"]:
+            raise PersistenceError(
+                f"dictionary file holds {len(terms)} terms, manifest promises "
+                f"{entry['terms']}")
+        return TermDictionary.restore(
+            terms, value_order_watermark=int(self.manifest["value_order_watermark"]))
+
+    def matrix_rows(self) -> int:
+        """Row count of the base matrix (manifest metadata, no I/O)."""
+        return int(self.manifest["matrix"]["rows"])
+
+    def matrix_loader(self):
+        """A deferred loader for the base matrix.
+
+        Queries never touch the base matrix — they go through the clustered
+        store and the projections — so the store materializes it lazily,
+        only when compaction / re-clustering / re-discovery needs it.
+        """
+        entry = self.manifest["matrix"]
+        path = self.base / entry["file"]
+        expect_crc = entry["crc"]
+        return lambda: read_array(path, expect_crc=expect_crc).reshape(-1, 3)
+
+    def read_schema(self) -> Optional[EmergentSchema]:
+        entry = self.manifest.get("schema")
+        if entry is None:
+            return None
+        text = read_text(self.base / entry["file"], expect_crc=entry["crc"])
+        return schema_from_dict(json_loads(text))
+
+    def build_index_store(self, pool: Optional[BufferPool]) -> Optional[ExhaustiveIndexStore]:
+        entry = self.manifest.get("index")
+        if entry is None:
+            return None
+        name = entry.get("name", "hsp")
+        tables: Dict[str, TripleTable] = {}
+        for order, table_entry in entry["orders"].items():
+            tables[order] = TripleTable.lazy(
+                loader=self._array_loader(COLUMNS_DIR, table_entry),
+                length=int(table_entry["rows"]),
+                order=order,
+                pool=pool,
+                name=f"{name}.{order}",
+            )
+        store = ExhaustiveIndexStore.from_tables(tables, pool=pool, name=name)
+        store.set_predicate_counts({int(p): c
+                                    for p, c in entry["predicate_counts"].items()})
+        return store
+
+    def build_clustered_store(self, pool: Optional[BufferPool],
+                              schema: Optional[EmergentSchema]) -> Optional[ClusteredStore]:
+        entry = self.manifest.get("clustered_store")
+        if entry is None:
+            return None
+        if schema is None:
+            raise PersistenceError("manifest has a clustered store but no schema")
+        name = entry.get("name", "clustered")
+        blocks: List[CSBlock] = []
+        for block_entry in entry["blocks"]:
+            blocks.append(self._build_block(block_entry, name, pool))
+        irregular_entry = entry["irregular"]
+        irregular = TripleTable.lazy(
+            loader=self._array_loader(COLUMNS_DIR, irregular_entry),
+            length=int(irregular_entry["rows"]),
+            order="pso",
+            pool=pool,
+            name=f"{name}.irregular",
+        )
+        return ClusteredStore(blocks=blocks, irregular=irregular,
+                              schema=schema, pool=pool)
+
+    def _build_block(self, entry: dict, name: str, pool: Optional[BufferPool]) -> CSBlock:
+        cs_id = int(entry["cs_id"])
+        rows = int(entry["rows"])
+        subject_entry = entry["subject"]
+        subject_column = Column.lazy(
+            segment_id=f"{name}.cs{cs_id}.subject",
+            loader=self._array_loader(COLUMNS_DIR, subject_entry),
+            length=rows,
+            sorted_ascending=True,
+            pool=pool,
+        )
+        subject_column.stats = ColumnStats.from_dict(subject_entry["stats"])
+        property_columns: Dict[int, Column] = {}
+        for predicate_text, column_entry in entry["columns"].items():
+            predicate_oid = int(predicate_text)
+            column = Column.lazy(
+                segment_id=f"{name}.cs{cs_id}.p{predicate_oid}",
+                loader=self._array_loader(COLUMNS_DIR, column_entry),
+                length=rows,
+                sorted_ascending=False,
+                pool=pool,
+            )
+            column.stats = ColumnStats.from_dict(column_entry["stats"])
+            property_columns[predicate_oid] = column
+        zone_maps = {}
+        for predicate_text, zm_entry in entry["zone_maps"].items():
+            zone_rows = read_array(self.base / ZONEMAPS_DIR / zm_entry["file"],
+                                   expect_crc=zm_entry["crc"])
+            zone_maps[int(predicate_text)] = ZoneMap.from_array(
+                zone_rows, zone_size=int(zm_entry["zone_size"]),
+                total_rows=int(zm_entry["total_rows"]))
+        return CSBlock(
+            cs_id=cs_id,
+            label=str(entry["label"]),
+            subject_column=subject_column,
+            property_columns=property_columns,
+            zone_maps=zone_maps,
+            sorted_properties=frozenset(int(p) for p in entry["sorted_properties"]),
+        )
+
+    def _array_loader(self, subdir: str, entry: dict):
+        path = self.base / subdir / entry["file"]
+        expect_crc = entry["crc"]
+        return lambda: read_array(path, expect_crc=expect_crc)
+
+    # -- the WAL --------------------------------------------------------------
+
+    def wal(self) -> WriteAheadLog:
+        """The database's write-ahead log, epoch-checked against the manifest.
+
+        An epoch mismatch means the snapshot and the log belong to
+        different generations (e.g. a checkpoint crashed between truncating
+        the log and publishing the manifest); replaying would corrupt the
+        store, so it is refused outright.
+        """
+        wal_path = self.base / self.manifest["wal_file"]
+        if not wal_path.exists():
+            raise PersistenceError(
+                f"database {self.root} has no WAL ({self.manifest['wal_file']}); "
+                "the directory is incomplete")
+        wal = WriteAheadLog.open(wal_path)
+        if wal.epoch != self.manifest["epoch"]:
+            raise PersistenceError(
+                f"WAL epoch {wal.epoch} does not match snapshot epoch "
+                f"{self.manifest['epoch']}: the database is torn between two "
+                "generations; restore from a consistent snapshot")
+        return wal

@@ -1,0 +1,233 @@
+"""The write-ahead log: crash-durable SPARQL Update records.
+
+The log is a single append-only file.  It starts with a header naming the
+snapshot *epoch* it belongs to, followed by zero or more framed records::
+
+    header:  magic 8s  b"RWAL\\x00\\x01\\x00\\x00"
+             epoch_len u32, epoch bytes (utf-8)
+    record:  magic 4s  b"WREC"
+             length u32   payload byte count
+             crc32  u32   CRC-32 of the payload
+             payload      utf-8 JSON {"seq": n, "text": "..."}
+
+Records are *logical*: the payload is the text of one successful
+``RDFStore.update()`` request.  Replay re-executes the texts in order
+against the snapshotted base state, which reproduces the delta store
+exactly (update application is deterministic).
+
+Crash semantics:
+
+* a record is appended and fsynced before ``update()`` returns — once
+  acknowledged, a request survives a crash;
+* a crash mid-append leaves a torn record at the tail; :meth:`open`
+  performs *recovery truncation* — the file is cut back to the last intact
+  record — so later appends can never land behind garbage and be skipped
+  by a future replay;
+* before appending, a handle re-validates the on-disk tail whenever the
+  file size moved under it: intact records another handle appended are
+  adopted (never truncated away), and only genuinely torn bytes are cut.
+  A database is still meant to have one writer at a time, but a second
+  handle degrades to interleaved appends rather than silent destruction
+  of acknowledged records;
+* the epoch ties the log to one snapshot generation: ``RDFStore.open``
+  replays the log only when its epoch matches the manifest's, which makes
+  a half-finished checkpoint fail safe instead of double-applying records.
+
+A handle caches the record texts it has scanned or appended, so replay and
+:meth:`record_count` do not re-read the file while the handle is the sole
+writer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, List, Optional, Tuple
+
+from ..errors import PersistenceError
+
+WAL_MAGIC = b"RWAL\x00\x01\x00\x00"
+RECORD_MAGIC = b"WREC"
+_RECORD_HEADER = struct.Struct("<4sII")
+_EPOCH_LEN = struct.Struct("<I")
+
+
+class WriteAheadLog:
+    """Append/replay interface over one WAL file.
+
+    The file handle is not kept open between operations: each append opens,
+    writes, fsyncs and closes, which keeps the object trivially safe to
+    share and to abandon (no ``close()`` discipline needed) at the price of
+    an open per write — appropriate for a simulator whose updates are
+    batched requests, not OLTP point writes.
+    """
+
+    def __init__(self, path: Path | str, epoch: str) -> None:
+        self.path = Path(path)
+        self.epoch = epoch
+        self._next_seq = 0
+        self._cached_texts: Optional[List[str]] = None
+        self._valid_end: Optional[int] = None
+        """End offset of the last intact record (or the header).  Appends
+        seek here — after re-validating that the file has not grown with
+        intact records from elsewhere — and truncate only torn bytes."""
+
+    # -- creation ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: Path | str, epoch: str) -> "WriteAheadLog":
+        """Create (or truncate) the log file with a fresh epoch header."""
+        wal = cls(path, epoch)
+        epoch_bytes = epoch.encode("utf-8")
+        try:
+            with open(wal.path, "wb") as sink:
+                sink.write(WAL_MAGIC)
+                sink.write(_EPOCH_LEN.pack(len(epoch_bytes)))
+                sink.write(epoch_bytes)
+                sink.flush()
+                os.fsync(sink.fileno())
+        except OSError as exc:
+            raise PersistenceError(f"cannot create WAL {wal.path}: {exc}") from exc
+        wal._cached_texts = []
+        wal._valid_end = len(WAL_MAGIC) + _EPOCH_LEN.size + len(epoch_bytes)
+        return wal
+
+    @classmethod
+    def open(cls, path: Path | str) -> "WriteAheadLog":
+        """Open an existing log: read the header, scan the intact records
+        and truncate any torn tail a crash mid-append left behind.
+
+        Recovery truncation is what keeps the append path safe: without
+        it, a record written after a torn one would sit behind garbage and
+        be silently skipped by every future replay.
+        """
+        wal = cls(path, epoch="")
+        wal._refresh_from_disk()
+        try:
+            if wal.path.stat().st_size > wal._valid_end:
+                with open(wal.path, "rb+") as sink:
+                    sink.truncate(wal._valid_end)
+                    sink.flush()
+                    os.fsync(sink.fileno())
+        except OSError as exc:
+            raise PersistenceError(f"cannot recover WAL {path}: {exc}") from exc
+        return wal
+
+    @classmethod
+    def peek(cls, path: Path | str) -> "WriteAheadLog":
+        """Open a log strictly read-only: no recovery truncation.
+
+        For inspection tools (``repro_db info``) that must not mutate a
+        database — possibly on read-only media or owned by another
+        process.  Appending through a peeked handle is not supported.
+        """
+        wal = cls(path, epoch="")
+        wal._refresh_from_disk()
+        return wal
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, text: str) -> int:
+        """Append one update-request record; fsynced before returning.
+
+        Returns the record's sequence number.  Raises
+        :class:`PersistenceError` when the write cannot be made durable —
+        callers treat that as the request having failed.
+        """
+        if self._valid_end is None:
+            self._refresh_from_disk()
+        try:
+            size = self.path.stat().st_size
+        except OSError as exc:
+            raise PersistenceError(f"cannot append to WAL {self.path}: {exc}") from exc
+        if size != self._valid_end:
+            # the file moved under this handle: adopt intact records another
+            # handle appended (never truncate them away); only bytes past
+            # the last intact record — a torn append — may be cut below
+            self._refresh_from_disk()
+        seq = self._next_seq
+        payload = json.dumps({"seq": seq, "text": text}).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        try:
+            with open(self.path, "r+b") as sink:
+                sink.seek(self._valid_end)
+                sink.truncate()
+                sink.write(_RECORD_HEADER.pack(RECORD_MAGIC, len(payload), crc))
+                sink.write(payload)
+                sink.flush()
+                os.fsync(sink.fileno())
+                self._valid_end = sink.tell()
+        except OSError as exc:
+            raise PersistenceError(f"cannot append to WAL {self.path}: {exc}") from exc
+        self._next_seq = seq + 1
+        if self._cached_texts is not None:
+            self._cached_texts.append(text)
+        return seq
+
+    # -- replay --------------------------------------------------------------
+
+    def replay_texts(self) -> List[str]:
+        """The fully written records' texts, in append order.
+
+        Replay is *tolerant at the tail*: a truncated or checksum-corrupt
+        record ends the scan (everything before it is returned), because
+        that is exactly what a crash mid-append leaves behind.  A corrupt
+        *header* is not tolerated — that is a different file, not a torn
+        write.
+        """
+        if self._cached_texts is None:
+            self._refresh_from_disk()
+        return list(self._cached_texts)
+
+    def record_count(self) -> int:
+        """Number of intact records currently in the log."""
+        return len(self.replay_texts())
+
+    # -- scanning ------------------------------------------------------------
+
+    def _refresh_from_disk(self) -> None:
+        """Re-read epoch, record texts and the end-of-valid-data offset."""
+        epoch, texts, valid_end = self._scan()
+        self.epoch = epoch
+        self._cached_texts = texts
+        self._next_seq = len(texts)
+        self._valid_end = valid_end
+
+    def _scan(self) -> Tuple[str, List[str], int]:
+        """One pass over the file: ``(epoch, texts, end_of_last_intact)``."""
+        texts: List[str] = []
+        try:
+            with open(self.path, "rb") as source:
+                epoch = self._read_header(source)
+                valid_end = source.tell()
+                while True:
+                    header = source.read(_RECORD_HEADER.size)
+                    if len(header) < _RECORD_HEADER.size:
+                        return epoch, texts, valid_end  # clean EOF or torn header
+                    rec_magic, length, crc = _RECORD_HEADER.unpack(header)
+                    if rec_magic != RECORD_MAGIC:
+                        return epoch, texts, valid_end  # garbage at record start
+                    payload = source.read(length)
+                    if len(payload) < length:
+                        return epoch, texts, valid_end  # torn payload
+                    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                        return epoch, texts, valid_end  # bit rot / partial write
+                    try:
+                        record = json.loads(payload.decode("utf-8"))
+                        texts.append(str(record["text"]))
+                    except (ValueError, KeyError):
+                        return epoch, texts, valid_end
+                    valid_end = source.tell()
+        except (OSError, struct.error) as exc:
+            raise PersistenceError(f"cannot read WAL {self.path}: {exc}") from exc
+
+    def _read_header(self, source: BinaryIO) -> str:
+        """Parse the file header; the stream is left at the first record."""
+        magic = source.read(len(WAL_MAGIC))
+        if magic != WAL_MAGIC:
+            raise PersistenceError(f"{self.path} is not a repro WAL (bad magic)")
+        (epoch_len,) = _EPOCH_LEN.unpack(source.read(_EPOCH_LEN.size))
+        return source.read(epoch_len).decode("utf-8")

@@ -5,11 +5,12 @@ from typing import Iterator, Union
 
 from ..errors import ParseError
 from ..model import Graph, Triple
-from .ntriples import parse_ntriples, serialize_ntriples, write_ntriples
+from .ntriples import parse_ntriples, parse_term, serialize_ntriples, write_ntriples
 from .turtle import parse_turtle
 
 __all__ = [
     "parse_ntriples",
+    "parse_term",
     "parse_turtle",
     "parse_rdf",
     "load_graph",

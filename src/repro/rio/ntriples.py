@@ -163,6 +163,26 @@ class _Scanner:
         return Literal(lexical)
 
 
+def parse_term(text: str, lineno: int = 1):
+    """Parse a single N-Triples term (IRI, blank node or literal).
+
+    The persistence layer serializes the term dictionary one ``Term.n3()``
+    line per OID; this is the matching reader.  The whole string must be
+    consumed by the term.
+
+    Raises
+    ------
+    ParseError
+        On malformed input or trailing characters.
+    """
+    scanner = _Scanner(text.strip(), lineno)
+    term = scanner.read_object()  # objects admit all three term kinds
+    if not scanner.at_end():
+        raise ParseError("trailing characters after term",
+                         line=lineno, column=scanner.pos + 1)
+    return term
+
+
 # -- serialization -----------------------------------------------------------
 
 

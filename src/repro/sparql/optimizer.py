@@ -305,6 +305,14 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.generation = 0
+        """Monotonic invalidation counter: bumped on every :meth:`clear`.
+
+        Cached plans are only valid for one physical organization of the
+        store, so the generation identifies *which* organization the cache
+        currently serves.  Snapshots persist it and ``RDFStore.open``
+        restores it, making an opened store's optimizer state
+        indistinguishable from the store that was saved."""
 
     @staticmethod
     def make_key(text: str, options) -> tuple:
@@ -344,11 +352,12 @@ class PlanCache:
             self.evictions += 1
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry, reset the hit/miss counters, bump the generation."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.generation += 1
 
     def stats(self) -> Dict[str, int]:
         """Counters for monitoring: size, capacity, hits, misses, evictions."""
@@ -358,6 +367,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "generation": self.generation,
         }
 
     def __len__(self) -> int:

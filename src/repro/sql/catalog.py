@@ -156,6 +156,26 @@ class Catalog:
         self.reduced_schemas[name.lower()] = table_names
         return table_names
 
+    def reduced_schemas_state(self) -> Dict[str, List[str]]:
+        """The registered reduced schemas as a JSON-ready mapping.
+
+        Persisted in snapshot manifests: the catalog itself is rebuilt
+        deterministically from the emergent schema at open time, but the
+        reduced views were registered by the user and would otherwise be
+        lost across a save/open cycle.
+        """
+        return {name: list(tables) for name, tables in self.reduced_schemas.items()}
+
+    def restore_reduced_schemas(self, state: Dict[str, List[str]]) -> None:
+        """Re-register reduced schemas captured by :meth:`reduced_schemas_state`.
+
+        Table names that no longer exist in the rebuilt catalog are dropped
+        silently — the reduced view is a projection of the live schema.
+        """
+        for name, tables in state.items():
+            self.reduced_schemas[name.lower()] = [
+                table for table in tables if table.lower() in self.tables]
+
     # -- documentation ---------------------------------------------------------------
 
     def ddl_script(self, reduced_schema: Optional[str] = None) -> str:

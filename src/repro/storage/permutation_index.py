@@ -41,9 +41,31 @@ class ExhaustiveIndexStore:
         ).reshape(-1, 3)
         self.name = name
         self.pool = pool
+        self._predicate_counts_cache: Optional[Dict[int, int]] = None
         self.tables: Dict[str, TripleTable] = {}
         for order in orders:
             self.tables[order] = TripleTable(matrix, order=order, pool=pool, name=f"{name}.{order}")
+
+    @classmethod
+    def from_tables(
+        cls,
+        tables: Dict[str, TripleTable],
+        pool: Optional[BufferPool] = None,
+        name: str = "hsp",
+    ) -> "ExhaustiveIndexStore":
+        """Wrap prebuilt (typically lazily loading) projections into a store.
+
+        Used by the snapshot reader: the six sorted projections already live
+        on disk, so the store must not re-sort anything at open time.
+        """
+        if not tables:
+            raise StorageError("an index store needs at least one projection")
+        store = cls.__new__(cls)
+        store.name = name
+        store.pool = pool
+        store._predicate_counts_cache = None
+        store.tables = dict(tables)
+        return store
 
     # -- basics --------------------------------------------------------------
 
@@ -160,5 +182,16 @@ class ExhaustiveIndexStore:
         return self.scan_pattern(s=subject, p=predicate, fetch="o")[:, 0]
 
     def predicate_counts(self) -> Dict[int, int]:
-        """Triple counts per predicate (metadata, no accounting)."""
-        return self.table(self.best_order("p")).predicate_counts()
+        """Triple counts per predicate (metadata, no accounting).
+
+        Cached: the counts are immutable for the store's lifetime, and a
+        snapshot reader can pre-seed the cache so optimizer statistics never
+        force a lazy projection to materialize.
+        """
+        if self._predicate_counts_cache is None:
+            self._predicate_counts_cache = self.table(self.best_order("p")).predicate_counts()
+        return self._predicate_counts_cache
+
+    def set_predicate_counts(self, counts: Dict[int, int]) -> None:
+        """Pre-seed the predicate-count cache (snapshot restore path)."""
+        self._predicate_counts_cache = {int(p): int(c) for p, c in counts.items()}

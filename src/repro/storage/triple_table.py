@@ -10,7 +10,7 @@ the access path that exhaustive-indexing RDF stores rely on.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,7 +41,9 @@ class TripleTable:
         self.pool = pool
         matrix = _as_matrix(triples)
         matrix = _sort_matrix(matrix, order)
-        self._matrix = matrix
+        self._matrix_data: Optional[np.ndarray] = matrix
+        self._matrix_loader: Optional[Callable[[], np.ndarray]] = None
+        self._row_count = int(matrix.shape[0])
         self._columns: Dict[str, Column] = {}
         for component in "spo":
             sorted_flag = order[0] == component
@@ -52,10 +54,71 @@ class TripleTable:
                 pool=pool,
             )
 
+    @classmethod
+    def lazy(
+        cls,
+        loader: Callable[[], np.ndarray],
+        length: int,
+        order: str = "pso",
+        pool: Optional[BufferPool] = None,
+        name: str = "triples",
+    ) -> "TripleTable":
+        """Create a table whose sorted matrix loads from disk on first access.
+
+        The loader must produce an ``(length, 3)`` matrix **already sorted**
+        in ``order`` (the snapshot writer persists the sorted form, so no
+        sort happens at load).  All three component columns share the one
+        matrix; materializing any of them materializes the table, which is
+        reported to the buffer pool once under the table's segment name.
+        """
+        if order not in ORDERS:
+            raise StorageError(f"unknown triple order {order!r}; expected one of {ORDERS}")
+        table = cls.__new__(cls)
+        table.order = order
+        table.name = name
+        table.pool = pool
+        table._matrix_data = None
+        table._matrix_loader = loader
+        table._row_count = int(length)
+        table._columns = {}
+        if pool is not None:
+            pool.register_lazy_segment(f"{name}.{order}", int(length) * 3)
+        for component in "spo":
+            index = _COMPONENT_INDEX[component]
+            table._columns[component] = Column.lazy(
+                segment_id=f"{name}.{order}.{component}",
+                loader=(lambda t=table, i=index: t._matrix[:, i]),
+                length=int(length),
+                sorted_ascending=order[0] == component,
+                pool=pool,
+                notify_pool=False,  # the shared matrix is accounted once, below
+            )
+        return table
+
+    @property
+    def _matrix(self) -> np.ndarray:
+        """The sorted ``(n, 3)`` matrix, materialized from disk on demand."""
+        if self._matrix_data is None:
+            loaded = np.asarray(self._matrix_loader(), dtype=np.int64).reshape(-1, 3)
+            if loaded.shape[0] != self._row_count:
+                raise StorageError(
+                    f"table {self.name!r} loader produced {loaded.shape[0]} rows, "
+                    f"expected {self._row_count}")
+            self._matrix_data = loaded
+            if self.pool is not None:
+                self.pool.note_materialized(f"{self.name}.{self.order}",
+                                            int(loaded.size))
+        return self._matrix_data
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the sorted matrix is resident (always true when eager)."""
+        return self._matrix_data is not None
+
     # -- basics --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self._matrix.shape[0])
+        return self._row_count
 
     def column(self, component: str) -> Column:
         """Return the column for component ``'s'``, ``'p'`` or ``'o'``."""

@@ -11,21 +11,27 @@ cluster.  This package makes the result *writable* without rebuilding:
 * :func:`compact_store` — merges the delta into the base storage,
   incrementally maintains the emergent schema (new subjects join a matching
   CS or the irregular table; emptied subjects leave), and restores the
-  value-ordered literal OID invariant.
+  value-ordered literal OID invariant;
+* :class:`UpdateJournal` — the durability hook: texts of the requests
+  applied since the last compaction, optionally mirrored to an on-disk
+  write-ahead log (:mod:`repro.persist.wal`) so acknowledged writes
+  survive crashes and ``RDFStore.open`` can replay them.
 
 Queries between writes and compactions stay correct because every access
 path in :mod:`repro.engine` merges ``base ∪ delta − tombstones`` (the
-MergeScan layer); see ``docs/updates.md``.
+MergeScan layer); see ``docs/updates.md`` and ``docs/persistence.md``.
 """
 
 from .apply import UpdateApplier, UpdateResult
 from .compaction import CompactionReport, compact_store
 from .delta import DeltaStore
+from .journal import UpdateJournal
 
 __all__ = [
     "CompactionReport",
     "DeltaStore",
     "UpdateApplier",
+    "UpdateJournal",
     "UpdateResult",
     "compact_store",
 ]

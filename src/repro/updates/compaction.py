@@ -77,6 +77,10 @@ def compact_store(store) -> CompactionReport:
     report = CompactionReport()
     delta = store.delta
     if delta is None or delta.is_empty():
+        # a no-op compaction (inserts and deletes cancelled out) still
+        # settles the journal: the base state reflects every recorded
+        # request, so a later save() must not re-seed dead texts
+        _clear_journal(store)
         return report
 
     delta_subjects = [int(s) for s in delta.delta_subjects()]
@@ -102,7 +106,18 @@ def compact_store(store) -> CompactionReport:
 
     store.matrix = merged
     delta.clear()
+    # only now that the merge succeeded: the journal's texts are reflected
+    # in the base matrix, so save() no longer needs to seed them into a
+    # fresh WAL.  Clearing any earlier would lose acknowledged updates from
+    # the next snapshot if compaction failed midway.
+    _clear_journal(store)
     return report
+
+
+def _clear_journal(store) -> None:
+    journal = getattr(store, "journal", None)
+    if journal is not None:
+        journal.clear()
 
 
 # -- schema maintenance ------------------------------------------------------------
@@ -203,20 +218,40 @@ def _refresh_table_statistics(schema, merged: np.ndarray, cs_ids: Set[int]) -> N
 
 
 def _refresh_coverage(schema, merged: np.ndarray) -> None:
+    """Recount schema coverage over the merged matrix in O(n log m).
+
+    One vectorized pass: each row's subject is resolved to its CS through a
+    sorted lookup, and (CS, predicate) membership is tested with a single
+    ``np.isin`` over packed keys — not one full-matrix scan per table,
+    which would make every compaction O(tables × triples).
+    """
     coverage = schema.coverage
     coverage.total_triples = int(merged.shape[0])
     subjects = np.unique(merged[:, 0]) if merged.size else np.empty(0, dtype=np.int64)
     coverage.total_subjects = int(subjects.size)
-    coverage.covered_subjects = sum(1 for s in subjects if int(s) in schema.subject_to_cs)
-    covered = 0
-    if merged.size:
-        for cs in schema.tables.values():
-            if not cs.subjects:
-                continue
-            members = np.asarray(cs.subjects, dtype=np.int64)
-            rows = merged[np.isin(merged[:, 0], members)]
-            if rows.size:
-                covered += int(np.isin(rows[:, 1],
-                                       np.asarray(sorted(cs.property_oids()),
-                                                  dtype=np.int64)).sum())
-    coverage.covered_triples = covered
+    if not merged.size or not schema.subject_to_cs:
+        coverage.covered_subjects = 0
+        coverage.covered_triples = 0
+        return
+    covered_arr = np.asarray(sorted(schema.subject_to_cs), dtype=np.int64)
+    cs_of_covered = np.asarray([schema.subject_to_cs[int(s)] for s in covered_arr],
+                               dtype=np.int64)
+    coverage.covered_subjects = int(np.isin(subjects, covered_arr,
+                                            assume_unique=True).sum())
+    positions = np.searchsorted(covered_arr, merged[:, 0])
+    positions = np.clip(positions, 0, covered_arr.size - 1)
+    row_covered = covered_arr[positions] == merged[:, 0]
+    if not row_covered.any():
+        coverage.covered_triples = 0
+        return
+    row_cs = cs_of_covered[positions[row_covered]]
+    row_pred = merged[row_covered, 1]
+    base = int(max(row_pred.max(),
+                   max((max(cs.property_oids(), default=0)
+                        for cs in schema.tables.values()), default=0))) + 1
+    table_keys = np.asarray(
+        [cs.cs_id * base + p for cs in schema.tables.values()
+         for p in cs.property_oids()],
+        dtype=np.int64)
+    coverage.covered_triples = int(np.isin(row_cs * base + row_pred,
+                                           table_keys).sum())

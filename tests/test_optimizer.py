@@ -266,9 +266,13 @@ class TestPlanCache:
         store.sparql(query)
         store.sparql(query)
         assert store.plan_cache_stats()["hits"] == 1
+        generation_before = store.plan_cache_stats()["generation"]
         store.cluster()  # physical rebuild drops every cached plan
-        assert store.plan_cache_stats() == {"size": 0, "capacity": 128, "hits": 0,
-                                            "misses": 0, "evictions": 0}
+        stats = store.plan_cache_stats()
+        assert stats["generation"] > generation_before  # clear() bumped it
+        assert stats == {"size": 0, "capacity": 128, "hits": 0,
+                         "misses": 0, "evictions": 0,
+                         "generation": stats["generation"]}
         result = store.sparql(query)  # replans against the new context
         assert store.plan_cache_stats()["misses"] == 1
         assert len(result) == 30

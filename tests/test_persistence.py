@@ -1,0 +1,644 @@
+"""Persistence layer: snapshot round trips, WAL crash recovery, lazy loading.
+
+Three properties are exercised:
+
+* **round-trip equivalence** — every query of the existing corpora answers
+  identically on ``RDFStore.open(save(store))``, across all plan schemes,
+  without the reopened store re-running discovery or clustering;
+* **crash recovery** — truncating the WAL at arbitrary byte boundaries
+  loses exactly the torn tail; replay matches a rebuild oracle that applies
+  the same surviving prefix of updates to a fresh store;
+* **lazy loading** — an opened store materializes columns on first scan,
+  observable through ``BufferPool.stats()``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import (
+    CheckpointReport,
+    PendingUpdatesError,
+    PersistenceError,
+    RDFStore,
+    StorageError,
+    StoreConfig,
+)
+from repro.bench.queries import q6_sparql, star_lookup_sparql
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.persist import SnapshotReader, WriteAheadLog, write_snapshot
+from repro.persist.snapshot import GENERATION_PREFIX, MANIFEST_FILE, wal_path
+from repro.sparql import (
+    DEFAULT_SCHEME,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlannerOptions,
+)
+
+from _datasets import EX, book_triples
+
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+SCHEMES = [
+    PlannerOptions(scheme=DEFAULT_SCHEME),
+    PlannerOptions(scheme=RDFSCAN_SCHEME),
+    PlannerOptions(scheme=OPTIMIZED_SCHEME),
+    PlannerOptions(scheme=RDFSCAN_SCHEME, use_zone_maps=True),
+]
+
+QUERIES = [
+    f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . ?b <{EX}isbn_no> ?i . }}",
+    f"SELECT ?b WHERE {{ ?b <{EX}has_author> <{EX}author/1> . }}",
+    f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . FILTER(?y >= 1998) }}",
+    f"SELECT ?b ?n WHERE {{ ?b <{EX}has_author> ?a . ?a <{EX}name> ?n . }}",
+    f"SELECT ?p ?o WHERE {{ <{EX}book/3> ?p ?o . }}",
+    f"SELECT (COUNT(?b) AS ?c) WHERE {{ ?b <{EX}isbn_no> ?i . }}",
+]
+
+SQL_QUERIES = [
+    "SELECT isbn_no FROM Book WHERE in_year >= 1998 ORDER BY isbn_no",
+    "SELECT b.isbn_no, a.name FROM Book b JOIN Person a ON b.has_author = a.id "
+    "WHERE b.in_year >= 2000",
+]
+
+
+def _config() -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+
+
+@pytest.fixture()
+def store() -> RDFStore:
+    return RDFStore.build(book_triples(), config=_config())
+
+
+def _sort_rows(rows: list) -> list:
+    return sorted(rows, key=lambda row: tuple((v is None, str(v)) for v in row))
+
+
+def decoded(store: RDFStore, text: str, options=None) -> list:
+    return _sort_rows(store.decode_rows(store.sparql(text, options)))
+
+
+def assert_stores_equivalent(left: RDFStore, right: RDFStore,
+                             queries=QUERIES, sql_queries=SQL_QUERIES) -> None:
+    for text in queries:
+        for options in SCHEMES:
+            assert decoded(left, text, options) == decoded(right, text, options), \
+                (text, options.describe())
+    for text in sql_queries:
+        assert _sort_rows(left.decode_rows(left.sql(text))) == \
+            _sort_rows(right.decode_rows(right.sql(text))), text
+
+
+def insert_book(n: int, year: int = 2001, author: int = 1) -> str:
+    return f"""
+    INSERT DATA {{
+      <{EX}book/new{n}> a <{EX}Book> ;
+          <{EX}has_author> <{EX}author/{author}> ;
+          <{EX}in_year> "{year}"^^<{XSD_INT}> ;
+          <{EX}isbn_no> "isbn-n{n:04d}" .
+    }}"""
+
+
+# -- snapshot round trips -----------------------------------------------------
+
+
+class TestSnapshotRoundTrip:
+    def test_book_corpus_identical_across_schemes(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert_stores_equivalent(store, reopened)
+
+    def test_open_skips_discovery_and_clustering(self, store, tmp_path, monkeypatch):
+        store.save(tmp_path / "db")
+        import repro.core.store as core_store
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("open() re-ran a build stage")
+
+        monkeypatch.setattr(core_store, "discover_schema", _boom)
+        monkeypatch.setattr(core_store, "cluster_subjects", _boom)
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.is_clustered
+        assert decoded(reopened, QUERIES[0]) == decoded(store, QUERIES[0])
+
+    def test_schema_catalog_and_summaries_survive(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.schema_summary() == store.schema_summary()
+        assert reopened.require_catalog().ddl_script() == store.require_catalog().ddl_script()
+        assert len(reopened.dictionary) == len(store.dictionary)
+        assert (reopened.dictionary.value_order_watermark
+                == store.dictionary.value_order_watermark)
+        left = store.storage_summary()
+        right = reopened.storage_summary()
+        for key in ("triples", "terms", "clustered", "tables", "foreign_keys",
+                    "triple_coverage", "subject_coverage", "regular_fraction",
+                    "irregular_triples"):
+            assert left[key] == right[key], key
+
+    def test_optimizer_behaves_identically(self, store, tmp_path):
+        """The reopened store's plans — including cardinality estimates —
+        must be byte-identical to the saved store's."""
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.plan_cache.generation == store.plan_cache.generation
+        for text in QUERIES:
+            original = store.explain(text, PlannerOptions(scheme=OPTIMIZED_SCHEME))
+            restored = reopened.explain(text, PlannerOptions(scheme=OPTIMIZED_SCHEME))
+            assert restored == original, text
+
+    def test_dirty_literals_round_trip(self, tmp_path):
+        from repro.model import IRI, Literal, Triple
+        nasty = [
+            Literal('quote " backslash \\ tab \t'),
+            Literal("newline\nand\rreturn"),
+            Literal("unicode é中文   sep"),
+            Literal("typed", datatype=f"{EX}custom"),
+            Literal("tagged", language="en-GB"),
+        ]
+        triples = book_triples()
+        for i, lit in enumerate(nasty):
+            triples.append(Triple(IRI(f"{EX}book/{i}"), IRI(f"{EX}note"), lit))
+        original = RDFStore.build(triples, config=_config())
+        original.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        query = f"SELECT ?b ?n WHERE {{ ?b <{EX}note> ?n . }}"
+        assert decoded(reopened, query) == decoded(original, query)
+
+    def test_dblp_round_trip(self, dblp_store, tmp_path):
+        # write_snapshot (not save) keeps the shared session fixture detached
+        write_snapshot(dblp_store, tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        from repro.bench.dblp import P_CREATOR, P_ISSUED, P_TITLE
+        queries = [
+            f"SELECT ?p ?t WHERE {{ ?p <{P_TITLE}> ?t . ?p <{P_ISSUED}> ?y . }}",
+            f"SELECT ?p ?a WHERE {{ ?p <{P_CREATOR}> ?a . }}",
+        ]
+        assert_stores_equivalent(dblp_store, reopened, queries=queries, sql_queries=[])
+
+    def test_rdfh_round_trip_with_zone_maps(self, rdfh_store, tmp_path):
+        write_snapshot(rdfh_store, tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        queries = [q6_sparql(), star_lookup_sparql()]
+        assert_stores_equivalent(rdfh_store, reopened, queries=queries, sql_queries=[])
+        # the sub-ordering metadata that makes zone maps effective survives
+        for block in rdfh_store.clustered_store.blocks:
+            twin = reopened.clustered_store.block(block.cs_id)
+            assert twin.sorted_properties == block.sorted_properties
+            assert set(twin.zone_maps) == set(block.zone_maps)
+
+    def test_reduced_schemas_survive(self, store, tmp_path):
+        from repro.cs.summarize import SchemaSummary
+        catalog = store.require_catalog()
+        cs_ids = [table.cs_id for table in store.schema.tables_by_support()][:1]
+        catalog.register_summary("core", SchemaSummary(table_ids=cs_ids, foreign_keys=[]))
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert (reopened.require_catalog().table_names("core")
+                == catalog.table_names("core"))
+
+    def test_open_into_reuses_instance(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        target = RDFStore(_config())
+        result = RDFStore.open(tmp_path / "db", into=target)
+        assert result is target
+        assert decoded(target, QUERIES[0]) == decoded(store, QUERIES[0])
+
+    def test_unclustered_store_round_trip(self, tmp_path):
+        original = RDFStore.build(book_triples(), config=_config(), cluster=False)
+        original.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert not reopened.is_clustered
+        assert decoded(reopened, QUERIES[0]) == decoded(original, QUERIES[0])
+
+
+# -- lazy loading -------------------------------------------------------------
+
+
+class TestLazyLoading:
+    def test_nothing_materialized_at_open(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        stats = reopened.buffer_pool_stats()
+        assert stats["lazy_segments_registered"] > 0
+        assert stats["lazy_segments_materialized"] == 0
+        assert all(not block.subject_column.is_materialized
+                   for block in reopened.clustered_store.blocks)
+        # the base matrix is lazy too, yet its row count is known
+        assert reopened._matrix_data is None
+        assert reopened.triple_count() == store.triple_count()
+        assert reopened._matrix_data is None  # counting did not materialize
+        # queries never need it; compaction does, and it loads on demand
+        reopened.update(insert_book(1))
+        reopened.compact()
+        assert reopened.triple_count() == store.triple_count() + 4
+
+    def test_first_scan_materializes_only_whats_needed(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        reopened.sparql(f"SELECT ?b WHERE {{ ?b <{EX}isbn_no> ?i . }}",
+                        PlannerOptions(scheme=RDFSCAN_SCHEME))
+        stats = reopened.buffer_pool_stats()
+        assert 0 < stats["lazy_segments_materialized"] < stats["lazy_segments_registered"]
+        assert stats["lazy_values_loaded"] > 0
+
+    def test_materialization_is_not_charged_as_page_reads(self, store, tmp_path):
+        """Cold-run accounting must match a freshly built store: loading a
+        column from disk is bookkept separately from simulated page misses."""
+        query = f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . ?b <{EX}isbn_no> ?i . }}"
+        store.save(tmp_path / "db")
+        store.reset_cold()
+        fresh_cost = store.sparql(query).cost.counters["page_reads"]
+        reopened = RDFStore.open(tmp_path / "db")
+        reopened.reset_cold()
+        reopened_cost = reopened.sparql(query).cost.counters["page_reads"]
+        assert reopened_cost == fresh_cost
+
+    def test_explain_analyze_surfaces_buffer_stats(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        text = reopened.explain(QUERIES[0], analyze=True)
+        assert "buffers:" in text
+        assert "lazy_materialized=" in text
+
+    def test_warm_and_cold_work_without_full_materialization(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        reopened = RDFStore.open(tmp_path / "db")
+        reopened.warm()  # page pre-load must not force arrays off disk
+        assert reopened.buffer_pool_stats()["cached_pages"] > 0
+        reopened.reset_cold()
+        assert reopened.buffer_pool_stats()["cached_pages"] == 0
+        assert decoded(reopened, QUERIES[0]) == decoded(store, QUERIES[0])
+
+
+# -- WAL durability and crash recovery ---------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_updates_append_to_attached_wal(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        wal = WriteAheadLog.open(wal_path(tmp_path / "db"))
+        assert wal.record_count() == 0
+        store.update(insert_book(1))
+        store.update(f"DELETE DATA {{ <{EX}book/1> <{EX}isbn_no> \"isbn-0001\" . }}")
+        assert WriteAheadLog.open(wal_path(tmp_path / "db")).record_count() == 2
+
+    def test_noop_updates_are_not_logged(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(f"DELETE DATA {{ <{EX}no/such> <{EX}p> <{EX}o> . }}")
+        assert WriteAheadLog.open(wal_path(tmp_path / "db")).record_count() == 0
+
+    def test_reopen_replays_pending_updates(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(insert_book(1))
+        store.update(insert_book(2, year=1993))
+        store.update(f"DELETE WHERE {{ ?b <{EX}in_year> \"1993\"^^<{XSD_INT}> . }}")
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.has_pending_updates()
+        # generation parity holds even with post-save records to replay
+        assert reopened.plan_cache.generation == store.plan_cache.generation
+        assert_stores_equivalent(store, reopened)
+
+    def test_save_with_pending_updates_seeds_the_wal(self, store, tmp_path):
+        store.update(insert_book(7))
+        info = store.save(tmp_path / "db")
+        assert info.pending_updates_logged == 1
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.has_pending_updates()
+        assert reopened.plan_cache.generation == store.plan_cache.generation
+        assert_stores_equivalent(store, reopened)
+
+    def test_failed_compaction_keeps_the_journal(self, store, tmp_path, monkeypatch):
+        """If compaction dies midway, the journal must still hold the
+        acknowledged texts so a later save() seeds them into the WAL."""
+        import repro.updates.compaction as compaction_mod
+        store.save(tmp_path / "db1")
+        store.update(insert_book(1))
+
+        def _boom(base, delta):
+            raise MemoryError("simulated mid-compaction failure")
+
+        monkeypatch.setattr(compaction_mod, "merge_matrices", _boom)
+        with pytest.raises(MemoryError):
+            store.compact()
+        monkeypatch.undo()
+        assert len(store.journal) == 1  # acknowledged update still journaled
+        info = store.save(tmp_path / "db2")
+        assert info.pending_updates_logged == 1
+        reopened = RDFStore.open(tmp_path / "db2")
+        assert_stores_equivalent(store, reopened)
+
+    def test_net_zero_updates_do_not_survive_compaction_in_the_journal(self, store, tmp_path):
+        """Insert-then-delete cancels out; after a (no-op) compact, a save
+        must not re-seed the dead request texts into the fresh WAL."""
+        triple = f"<{EX}book/tmp> <{EX}isbn_no> \"isbn-tmp\" ."
+        store.update(f"INSERT DATA {{ {triple} }}")
+        store.update(f"DELETE DATA {{ {triple} }}")
+        assert not store.has_pending_updates()
+        report = store.compact()
+        assert report.merged_inserts == 0
+        info = store.save(tmp_path / "db")
+        assert info.pending_updates_logged == 0
+        assert WriteAheadLog.open(wal_path(tmp_path / "db")).record_count() == 0
+
+    def test_replay_survives_compaction_oid_remapping(self, store, tmp_path):
+        """Logical (text) records stay valid even though compaction re-maps
+        literal OIDs: replay against the older on-disk base is equivalent."""
+        store.save(tmp_path / "db")
+        store.update(insert_book(1, year=2040))  # new literal, post-watermark
+        store.compact()                          # re-maps it into value order
+        store.update(insert_book(2, year=2041))
+        reopened = RDFStore.open(tmp_path / "db")
+        assert_stores_equivalent(store, reopened)
+
+
+class TestCrashRecovery:
+    def _updates(self):
+        return [
+            insert_book(1),
+            insert_book(2, year=1993),
+            f"DELETE DATA {{ <{EX}book/2> <{EX}isbn_no> \"isbn-0002\" . }}",
+            insert_book(3, author=4),
+            f"DELETE WHERE {{ ?b <{EX}in_year> \"1993\"^^<{XSD_INT}> . }}",
+            insert_book(4, year=2012),
+        ]
+
+    def test_truncation_at_every_record_boundary_matches_oracle(self, tmp_path):
+        """Chop the WAL at arbitrary points; the reopened store must equal a
+        fresh build that applied exactly the surviving record prefix."""
+        base = RDFStore.build(book_triples(), config=_config())
+        base.save(tmp_path / "db")
+        log_path = wal_path(tmp_path / "db")
+        offsets = [log_path.stat().st_size]  # end offset after k records
+        for text in self._updates():
+            base.update(text)
+            offsets.append(log_path.stat().st_size)
+        full = log_path.read_bytes()
+
+        # cut exactly at, just before and just after every record boundary
+        cut_points = set()
+        for k, offset in enumerate(offsets):
+            cut_points.update({offset, offset - 3, offset + 5})
+        cut_points = sorted(p for p in cut_points
+                            if offsets[0] <= p <= offsets[-1])
+
+        for cut in cut_points:
+            log_path.write_bytes(full[:cut])
+            survivors = sum(1 for end in offsets[1:] if end <= cut)
+            oracle = RDFStore.build(book_triples(), config=_config())
+            for text in self._updates()[:survivors]:
+                oracle.update(text)
+            reopened = RDFStore.open(tmp_path / "db")
+            assert_stores_equivalent(oracle, reopened, sql_queries=[]), cut
+        log_path.write_bytes(full)
+
+    def test_corrupt_record_ends_replay_at_the_tear(self, tmp_path):
+        base = RDFStore.build(book_triples(), config=_config())
+        base.save(tmp_path / "db")
+        for text in self._updates()[:3]:
+            base.update(text)
+        log_path = wal_path(tmp_path / "db")
+        raw = bytearray(log_path.read_bytes())
+        raw[-10] ^= 0xFF  # flip a byte inside the last record's payload
+        log_path.write_bytes(bytes(raw))
+        assert WriteAheadLog.open(log_path).record_count() == 2
+        oracle = RDFStore.build(book_triples(), config=_config())
+        for text in self._updates()[:2]:
+            oracle.update(text)
+        reopened = RDFStore.open(tmp_path / "db")
+        assert_stores_equivalent(oracle, reopened, sql_queries=[])
+
+    def test_torn_tail_is_truncated_so_later_appends_survive(self, store, tmp_path):
+        """A record appended after crash recovery must never hide behind the
+        torn tail: open() truncates the garbage, so the next replay sees it."""
+        store.save(tmp_path / "db")
+        store.update(insert_book(1))
+        store.update(insert_book(2))
+        log_path = wal_path(tmp_path / "db")
+        full = log_path.read_bytes()
+        log_path.write_bytes(full[:-7])  # tear the second record
+
+        recovered = RDFStore.open(tmp_path / "db")  # replays 1, truncates tear
+        assert recovered.delta.insert_count() == 4  # one book = 4 triples
+        recovered.update(insert_book(3))            # appended post-recovery
+
+        again = RDFStore.open(tmp_path / "db")
+        assert again.delta.insert_count() == 8      # books 1 and 3
+        assert_stores_equivalent(recovered, again, sql_queries=[])
+
+    def test_wal_append_failure_rolls_the_update_back(self, store, tmp_path, monkeypatch):
+        """If the WAL append fails, the request must fail atomically — no
+        applied-but-unlogged update a crash would silently lose."""
+        store.save(tmp_path / "db")
+
+        def _disk_full(self, text):
+            raise PersistenceError("cannot append to WAL: disk full")
+
+        monkeypatch.setattr(WriteAheadLog, "append", _disk_full)
+        with pytest.raises(PersistenceError, match="disk full"):
+            store.update(insert_book(1))
+        assert not store.has_pending_updates()
+        assert len(store.journal) == 0  # a later save() must not replay it
+
+    def test_generation_retention_across_checkpoints(self, store, tmp_path):
+        """The previous published generation is retained one cycle (open
+        handles may still lazily read it); older ones are removed."""
+        def generations():
+            return {d.name for d in (tmp_path / "db").iterdir()
+                    if d.is_dir() and d.name.startswith(GENERATION_PREFIX)}
+
+        info_a = store.save(tmp_path / "db")
+        held_open = RDFStore.open(tmp_path / "db")  # lazy loaders into gen A
+        answers_at_a = decoded(store, QUERIES[0])
+        store.update(insert_book(1))
+        info_b = store.checkpoint()
+        assert generations() == {info_a.generation, info_b.snapshot.generation}
+        # the handle opened against generation A keeps answering (its
+        # snapshot view: the state as of generation A)
+        assert decoded(held_open, QUERIES[0]) == answers_at_a
+        store.update(insert_book(2))
+        info_c = store.checkpoint()
+        assert generations() == {info_b.snapshot.generation,
+                                 info_c.snapshot.generation}
+        reopened = RDFStore.open(tmp_path / "db")
+        assert_stores_equivalent(store, reopened)
+
+    def test_concurrent_wal_appends_never_destroy_each_other(self, store, tmp_path):
+        """Two handles on one database degrade to interleaved appends — an
+        acknowledged record is never truncated away by a stale handle."""
+        store.save(tmp_path / "db")
+        a = RDFStore.open(tmp_path / "db")
+        b = RDFStore.open(tmp_path / "db")
+        a.update(insert_book(1))
+        b.update(insert_book(2))  # b's handle is stale; must adopt a's record
+        a.update(insert_book(3))
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.delta.insert_count() == 12  # all three books, 4 triples each
+
+    def test_failed_open_into_leaves_the_target_intact(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        corrupt_dir = tmp_path / "corrupt"
+        store.save(corrupt_dir)
+        victim = next(corrupt_dir.glob("gen-*/dictionary.nt"))
+        victim.write_bytes(b"\xff not a dictionary \xff")
+        served = RDFStore.open(tmp_path / "db")
+        before = decoded(served, QUERIES[0])
+        with pytest.raises(PersistenceError):
+            RDFStore.open(corrupt_dir, into=served)
+        # the served store keeps serving, untouched
+        assert decoded(served, QUERIES[0]) == before
+
+    def test_append_after_failed_append_is_not_hidden_by_torn_bytes(self, store, tmp_path):
+        """A partial record left by a *failed* append must not swallow the
+        next acknowledged record: append() truncates to the last intact
+        offset before writing."""
+        store.save(tmp_path / "db")
+        store.update(insert_book(1))
+        log_path = wal_path(tmp_path / "db")
+        # simulate a torn in-place append: garbage past the last intact record
+        with open(log_path, "ab") as sink:
+            sink.write(b"WREC\x99\x00\x00\x00partial-garbage")
+        store.update(insert_book(2))  # same handle, appends over the garbage
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.delta.insert_count() == 8  # both books replayed
+        assert_stores_equivalent(store, reopened, sql_queries=[])
+
+    def test_interrupted_first_save_is_retryable(self, store, tmp_path):
+        """Generation debris without a manifest (a failed first save) must
+        not wedge the directory; foreign files still must."""
+        (tmp_path / "db" / "gen-deadbeef0000" / "columns").mkdir(parents=True)
+        (tmp_path / "db" / "gen-deadbeef0000" / "matrix.bin").write_bytes(b"partial")
+        store.save(tmp_path / "db")  # reclaims the debris
+        reopened = RDFStore.open(tmp_path / "db")
+        assert_stores_equivalent(store, reopened)
+        assert not (tmp_path / "db" / "gen-deadbeef0000").exists()
+
+    def test_wal_epoch_mismatch_is_refused(self, store, tmp_path):
+        store.save(tmp_path / "a")
+        store.save(tmp_path / "b")
+        wal_path(tmp_path / "a").write_bytes(wal_path(tmp_path / "b").read_bytes())
+        with pytest.raises(PersistenceError, match="epoch"):
+            RDFStore.open(tmp_path / "a")
+
+    def test_missing_wal_is_refused(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        wal_path(tmp_path / "db").unlink()
+        with pytest.raises(PersistenceError, match="WAL"):
+            RDFStore.open(tmp_path / "db")
+
+
+# -- corruption and format validation ----------------------------------------
+
+
+class TestFormatValidation:
+    def test_corrupt_column_file_detected_on_first_scan(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        victim = next((tmp_path / "db").glob("gen-*/columns/clustered.cs*.p*.bin"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        reopened = RDFStore.open(tmp_path / "db")  # lazy: open itself succeeds
+        with pytest.raises(PersistenceError, match="checksum|corrupt"):
+            for text in QUERIES:
+                for options in SCHEMES:
+                    reopened.sparql(text, options)
+
+    def test_unsupported_format_version(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        manifest_path = tmp_path / "db" / MANIFEST_FILE
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError, match="v99"):
+            RDFStore.open(tmp_path / "db")
+
+    def test_not_a_database_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="MANIFEST"):
+            RDFStore.open(tmp_path)
+
+    def test_save_refuses_foreign_directory(self, store, tmp_path):
+        (tmp_path / "precious.txt").write_text("do not clobber")
+        with pytest.raises(PersistenceError, match="refusing"):
+            store.save(tmp_path)
+        assert (tmp_path / "precious.txt").read_text() == "do not clobber"
+
+    def test_manifest_written_last_and_atomically(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        assert not (tmp_path / "db" / (MANIFEST_FILE + ".tmp")).exists()
+        reader = SnapshotReader(tmp_path / "db")
+        assert reader.manifest["triples"] == store.triple_count()
+
+
+# -- typed pending-updates errors ---------------------------------------------
+
+
+class TestPendingUpdatesErrors:
+    def test_load_raises_typed_error(self, store):
+        store.update(insert_book(1))
+        with pytest.raises(PendingUpdatesError, match="compact"):
+            store.load(book_triples())
+
+    def test_cluster_raises_typed_error(self, store):
+        store.update(insert_book(1))
+        with pytest.raises(PendingUpdatesError, match="compact"):
+            store.cluster()
+
+    def test_open_into_reuses_typed_error(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        dirty = RDFStore.build(book_triples(), config=_config())
+        dirty.update(insert_book(1))
+        with pytest.raises(PendingUpdatesError, match="pending"):
+            RDFStore.open(tmp_path / "db", into=dirty)
+        assert dirty.has_pending_updates()  # untouched
+
+    def test_typed_error_is_a_storage_error(self):
+        assert issubclass(PendingUpdatesError, StorageError)
+        assert issubclass(PersistenceError, StorageError)
+
+
+# -- checkpoint lifecycle -----------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_checkpoint_compacts_snapshots_and_truncates(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(insert_book(1))
+        store.update(insert_book(2))
+        report = store.checkpoint()
+        assert isinstance(report, CheckpointReport)
+        assert report.compaction.merged_inserts > 0
+        assert not store.has_pending_updates()
+        assert WriteAheadLog.open(wal_path(tmp_path / "db")).record_count() == 0
+        reopened = RDFStore.open(tmp_path / "db")
+        assert not reopened.has_pending_updates()
+        assert_stores_equivalent(store, reopened)
+
+    def test_checkpoint_requires_attachment_or_path(self, store, tmp_path):
+        with pytest.raises(PersistenceError, match="not attached"):
+            store.checkpoint()
+        store.update(insert_book(1))
+        report = store.checkpoint(tmp_path / "db")
+        assert report.snapshot.pending_updates_logged == 0
+        assert store.db_path == tmp_path / "db"
+
+    def test_load_detaches_the_database(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.load(book_triples(books=5))
+        assert store.db_path is None
+        store.discover_schema()
+        store.cluster()
+        store.update(insert_book(9))  # must not try to touch the old WAL
+        assert WriteAheadLog.open(wal_path(tmp_path / "db")).record_count() == 0
+
+    def test_updates_after_checkpoint_keep_flowing_to_the_new_wal(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(insert_book(1))
+        store.checkpoint()
+        store.update(insert_book(2))
+        reopened = RDFStore.open(tmp_path / "db")
+        assert reopened.has_pending_updates()
+        assert_stores_equivalent(store, reopened)

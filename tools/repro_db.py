@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""repro_db — command-line front door to the persistence layer.
+
+Build a database from RDF, reopen it, query it, inspect it::
+
+    # parse + discover + cluster + save
+    python tools/repro_db.py save data.nt mydb/
+
+    # sanity-open: restore + WAL replay, report what came back
+    python tools/repro_db.py open mydb/
+
+    # run SPARQL (default) or SQL against a saved database
+    python tools/repro_db.py query mydb/ 'SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }'
+    python tools/repro_db.py query mydb/ --sql 'SELECT * FROM Book'
+
+    # apply a SPARQL Update (logged to the WAL), optionally checkpoint
+    python tools/repro_db.py update mydb/ 'INSERT DATA { <http://x/s> <http://x/p> "v" . }'
+    python tools/repro_db.py checkpoint mydb/
+
+    # manifest + schema + buffer statistics
+    python tools/repro_db.py info mydb/
+
+Exit status is 0 on success, 1 on any repro error (bad input, corrupt
+database, unsupported query), with the message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import RDFStore, ReproError, WriteAheadLog  # noqa: E402
+from repro.persist import MANIFEST_FILE, SnapshotReader  # noqa: E402
+from repro.persist.snapshot import wal_path  # noqa: E402
+from repro.rio import load_graph  # noqa: E402
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    graph = load_graph(Path(args.source), syntax=args.syntax)
+    store = RDFStore.build(graph, cluster=not args.no_cluster)
+    info = store.save(args.database)
+    print(f"saved {info.triples} triples / {info.terms} terms to {info.path} "
+          f"({info.files} files, {info.data_bytes / 1024:.0f} KiB, epoch {info.epoch[:8]})")
+    return 0
+
+
+def cmd_open(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    summary = store.storage_summary()
+    print(f"opened {summary['triples']} triples, {summary['terms']} terms, "
+          f"{summary.get('tables', 0)} tables, clustered={summary['clustered']}")
+    if store.has_pending_updates():
+        print(f"replayed WAL: {store.delta.insert_count()} pending inserts, "
+              f"{store.delta.tombstone_count()} pending deletes")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    if args.sql:
+        result = store.sql(args.query)
+    else:
+        result = store.sparql(args.query)
+    for row in store.decode_rows(result):
+        print("\t".join("NULL" if value is None else str(value) for value in row))
+    print(f"-- {len(result)} rows ({result.cost.describe()})", file=sys.stderr)
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    result = store.update(args.request)
+    durability = "logged to WAL" if result.changed else "no-op, not logged"
+    print(f"inserted {result.inserted}, deleted {result.deleted} "
+          f"({result.statements} statements, {durability})")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    report = store.checkpoint()
+    print(report.describe())
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    reader = SnapshotReader(args.database)
+    manifest = reader.manifest
+    print(f"database:   {args.database}")
+    print(f"format:     {manifest['format']} v{manifest['format_version']} "
+          f"(epoch {manifest['epoch'][:8]}, created {manifest['created_utc']})")
+    print(f"triples:    {manifest['triples']}")
+    print(f"terms:      {manifest['terms']} "
+          f"(value-order watermark {manifest['value_order_watermark']})")
+    print(f"clustered:  {manifest['clustered']}")
+    index = manifest.get("index")
+    if index:
+        print(f"index:      {len(index['orders'])} permutations "
+              f"({', '.join(sorted(index['orders']))})")
+    clustered = manifest.get("clustered_store")
+    if clustered:
+        columns = sum(len(b["columns"]) for b in clustered["blocks"])
+        zone_maps = sum(len(b["zone_maps"]) for b in clustered["blocks"])
+        print(f"blocks:     {len(clustered['blocks'])} CS blocks, {columns} property "
+              f"columns, {zone_maps} zone maps, "
+              f"{clustered['irregular']['rows']} irregular triples")
+    # read-only peek: info must not replay the WAL (that runs queries and
+    # materializes columns) or recovery-truncate it (a write)
+    records = WriteAheadLog.peek(wal_path(args.database)).record_count()
+    if records:
+        print(f"wal:        {records} update records pending replay "
+              f"(run 'open' for the resulting delta sizes)")
+    else:
+        print("wal:        empty (checkpointed)")
+    if args.json:
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro_db", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_save = sub.add_parser("save", help="build a store from RDF and save it")
+    p_save.add_argument("source", help="RDF file (N-Triples or Turtle)")
+    p_save.add_argument("database", help="target database directory")
+    p_save.add_argument("--syntax", choices=["ntriples", "turtle"], default=None,
+                        help="input syntax (default: inferred from extension)")
+    p_save.add_argument("--no-cluster", action="store_true",
+                        help="skip subject clustering (ParseOrder baseline)")
+    p_save.set_defaults(func=cmd_save)
+
+    p_open = sub.add_parser("open", help="open a database and report its state")
+    p_open.add_argument("database")
+    p_open.set_defaults(func=cmd_open)
+
+    p_query = sub.add_parser("query", help="run SPARQL (or --sql) against a database")
+    p_query.add_argument("database")
+    p_query.add_argument("query")
+    p_query.add_argument("--sql", action="store_true", help="treat the query as SQL")
+    p_query.set_defaults(func=cmd_query)
+
+    p_update = sub.add_parser("update", help="apply a SPARQL Update (WAL-logged)")
+    p_update.add_argument("database")
+    p_update.add_argument("request")
+    p_update.set_defaults(func=cmd_update)
+
+    p_ckpt = sub.add_parser("checkpoint", help="compact + snapshot + truncate the WAL")
+    p_ckpt.add_argument("database")
+    p_ckpt.set_defaults(func=cmd_checkpoint)
+
+    p_info = sub.add_parser("info", help=f"print the {MANIFEST_FILE} summary")
+    p_info.add_argument("database")
+    p_info.add_argument("--json", action="store_true", help="also dump the raw manifest")
+    p_info.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
