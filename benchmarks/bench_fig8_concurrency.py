@@ -1,0 +1,173 @@
+"""Figure 8 (this repo's extension): the concurrency subsystem.
+
+Two measurements:
+
+* **update-burst latency** — per-request cost across a burst of ``BURST``
+  single-subject ``INSERT DATA`` requests with *no* intervening compaction.
+  The per-request undo log makes each request O(touched keys); the old
+  full-delta-copy atomicity scheme was O(pending), i.e. O(N²) for the burst.
+  The benchmark asserts the curve is flat: the last chunk of the burst may
+  cost at most twice the first chunk.
+* **reader throughput vs writer load** — N snapshot-pinning reader threads
+  hammering a star query for a fixed window, once against an idle store and
+  once while a writer thread applies updates and compactions.  Readers never
+  block on the writer during execution (only snapshot *acquisition*
+  serializes with an in-flight update), so throughput should degrade
+  gracefully, not collapse.
+
+Run in smoke mode (small store, short windows) with ``REPRO_BENCH_SMOKE=1``
+— CI does this on every push.  Results land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+
+import pytest
+
+from repro import RDFStore, StoreConfig
+from repro.bench import DblpConfig, generate_dblp
+from repro.bench.dblp import CLASS_INPROCEEDINGS, DBLP, P_CREATOR, P_PART_OF, P_TITLE
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+PAPERS = 80 if SMOKE else 400
+BURST = 1000
+CHUNK = 100
+READERS = 4 if SMOKE else 8
+WINDOW_SECONDS = 0.6 if SMOKE else 2.0
+
+STAR_QUERY = (
+    f"SELECT ?p ?t ?c WHERE {{ ?p <{P_TITLE}> ?t . ?p <{P_PART_OF}> ?c . "
+    f"?p <{P_CREATOR}> ?a . }}"
+)
+
+
+def _build_store() -> RDFStore:
+    config = StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+    triples = generate_dblp(DblpConfig(papers=PAPERS, conferences=8,
+                                       authors=max(PAPERS // 4, 8)))
+    return RDFStore.build(triples, config=config)
+
+
+def _burst_update(i: int) -> str:
+    paper = f"{DBLP}inproc/burst{i}"
+    return (f"INSERT DATA {{ <{paper}> a <{CLASS_INPROCEEDINGS}> ; "
+            f"<{P_CREATOR}> <{DBLP}author/{i % 5}> ; "
+            f"<{P_TITLE}> \"Burst paper {i}\" ; "
+            f"<{P_PART_OF}> <{DBLP}conf/{i % 8}> . }}")
+
+
+@pytest.fixture(scope="module")
+def report_lines():
+    lines = ["Figure 8 — concurrency: O(1) update bursts, reader throughput under writes", ""]
+    yield lines
+
+
+def test_update_burst_latency_is_flat(report_lines):
+    """Per-update cost must stay flat (within 2x) from 1 to BURST pending."""
+    store = _build_store()
+    store.update(_burst_update(999_999))  # warm the parse/apply path once
+    chunk_seconds = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for chunk_start in range(0, BURST, CHUNK):
+            started = time.perf_counter()
+            for i in range(chunk_start, chunk_start + CHUNK):
+                store.update(_burst_update(i))
+            chunk_seconds.append(time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    assert store.delta.insert_count() >= BURST * 4
+    # medians over three chunks at each end damp one-off scheduler/CPU-steal
+    # spikes on shared CI runners; a genuinely superlinear write path (the
+    # old full-delta-copy scheme was ~10x by the last chunk) still trips it
+    first = sorted(chunk_seconds[:3])[1]
+    last = sorted(chunk_seconds[-3:])[1]
+    per_update_first = first / CHUNK * 1e6
+    per_update_last = last / CHUNK * 1e6
+    report_lines.append(
+        f"update burst: {BURST} requests, per-update "
+        f"{per_update_first:.0f} µs (median of first 3 chunks) -> "
+        f"{per_update_last:.0f} µs (median of last 3) (x{last / first:.2f})")
+    curve = ", ".join(f"{int(seconds / CHUNK * 1e6)}" for seconds in chunk_seconds)
+    report_lines.append(f"per-update µs per {CHUNK}-request chunk: [{curve}]")
+    assert last <= 2.0 * first, (
+        f"per-update cost grew from {per_update_first:.0f} µs to "
+        f"{per_update_last:.0f} µs across the burst — the write path is "
+        f"superlinear in pending-delta size again")
+
+
+def _reader_window(store: RDFStore, seconds: float, errors: list) -> int:
+    """Run READERS snapshot-pinning reader threads; return queries completed."""
+    counts = [0] * READERS
+    stop = threading.Event()
+
+    def read_loop(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                with store.snapshot() as snap:
+                    result = snap.sparql(STAR_QUERY)
+                    if len(result) == 0:
+                        errors.append("star query returned no rows")
+                counts[slot] += 1
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=read_loop, args=(slot,))
+               for slot in range(READERS)]
+    for thread in threads:
+        thread.start()
+    time.sleep(seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    return sum(counts)
+
+
+def test_reader_throughput_vs_writer_load(report_lines, results_dir):
+    store = _build_store()
+    errors: list = []
+
+    idle_reads = _reader_window(store, WINDOW_SECONDS, errors)
+    assert errors == []
+
+    writer_stop = threading.Event()
+    updates_applied = [0]
+
+    def write_loop() -> None:
+        i = 0
+        while not writer_stop.is_set():
+            store.update(_burst_update(10_000 + i))
+            updates_applied[0] += 1
+            if i % 50 == 49:
+                store.compact()
+            i += 1
+
+    writer = threading.Thread(target=write_loop)
+    writer.start()
+    try:
+        loaded_reads = _reader_window(store, WINDOW_SECONDS, errors)
+    finally:
+        writer_stop.set()
+        writer.join(timeout=60)
+    assert errors == []
+    assert idle_reads > 0 and loaded_reads > 0
+    assert updates_applied[0] > 0, "the writer never got a turn"
+
+    ratio = loaded_reads / idle_reads if idle_reads else float("inf")
+    report_lines.append(
+        f"reader throughput ({READERS} threads, {WINDOW_SECONDS:.1f}s windows): "
+        f"{idle_reads / WINDOW_SECONDS:,.0f} q/s idle -> "
+        f"{loaded_reads / WINDOW_SECONDS:,.0f} q/s with a writer applying "
+        f"{updates_applied[0]} updates (+compactions) concurrently "
+        f"(x{ratio:.2f})")
+    out = results_dir / "fig8_concurrency.txt"
+    out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")

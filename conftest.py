@@ -3,11 +3,34 @@
 The package is normally installed editable, but tests and benchmarks must
 also run straight from a checkout (e.g. in offline CI images without a
 working editable install), so the source tree is prepended to ``sys.path``.
+
+Setting ``REPRO_TEST_SHUFFLE_SEED`` shuffles the collected test order with
+that seed (dependency-free equivalent of ``pytest-randomly``): CI runs a
+seeded-shuffle job on every push to flush out order-dependent tests, and a
+failure's header names the seed so the exact order reproduces locally::
+
+    REPRO_TEST_SHUFFLE_SEED=12345 python -m pytest -q
 """
 
+import os
+import random
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+_SHUFFLE_SEED = os.environ.get("REPRO_TEST_SHUFFLE_SEED")
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _SHUFFLE_SEED:
+        return
+    random.Random(int(_SHUFFLE_SEED)).shuffle(items)
+
+
+def pytest_report_header(config):
+    if _SHUFFLE_SEED:
+        return f"repro: test order shuffled with seed {_SHUFFLE_SEED}"
+    return None

@@ -39,6 +39,7 @@ from .sparql import (
     PlannerOptions,
 )
 from .persist import SnapshotInfo, WriteAheadLog
+from .server import QueryServer, ReadSnapshot, StoreService, StoreSession
 from .updates import CompactionReport, DeltaStore, UpdateJournal, UpdateResult
 
 __version__ = "0.1.0"
@@ -65,13 +66,17 @@ __all__ = [
     "PlanCache",
     "PlanError",
     "PlannerOptions",
+    "QueryServer",
     "RDFSCAN_SCHEME",
     "RDFStore",
+    "ReadSnapshot",
     "ReproError",
     "SchemaError",
     "SnapshotInfo",
     "StorageError",
     "StoreConfig",
+    "StoreService",
+    "StoreSession",
     "Triple",
     "UpdateJournal",
     "UpdateResult",

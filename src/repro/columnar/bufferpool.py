@@ -14,10 +14,18 @@ through a :class:`BufferPool`:
 pages a dataset occupies (a hot run).  Locality now has the same observable
 consequence it has on real hardware: a query that touches a few contiguous
 pages causes few misses, one that hops all over an index causes many.
+
+The pool is shared by every structure of a store — including the frozen
+delta views MVCC read snapshots scan from other threads — so its internal
+state is guarded by a reentrant lock.  Page-level counters stay exact under
+concurrency; the per-query *attribution* of counters (``execute_plan``'s
+tracker diff) is best-effort when queries overlap, exactly like ``BUFFERS``
+accounting in a real multi-user database.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable
 
@@ -40,6 +48,7 @@ class BufferPool:
             raise ValueError("page size must be positive")
         self.capacity_pages = capacity_pages
         self.page_size = page_size
+        self._lock = threading.RLock()
         self._pages: OrderedDict[tuple[str, int], None] = OrderedDict()
         self.tracker = CostTracker()
         self.evictions = 0
@@ -53,20 +62,24 @@ class BufferPool:
 
     def reset_cold(self) -> None:
         """Empty the cache, simulating a cold start."""
-        self._pages.clear()
+        with self._lock:
+            self._pages.clear()
 
     def warm(self, segment_id: str, num_values: int) -> None:
         """Pre-load every page of a segment (simulating a hot cache)."""
-        for page in range(self.pages_for(num_values)):
-            self._insert((segment_id, page))
+        with self._lock:
+            for page in range(self.pages_for(num_values)):
+                self._insert((segment_id, page))
 
     def cached_page_count(self) -> int:
         """Number of pages currently cached."""
-        return len(self._pages)
+        with self._lock:
+            return len(self._pages)
 
     def contains(self, segment_id: str, page: int) -> bool:
         """Whether a specific page is cached (does not touch LRU order)."""
-        return (segment_id, page) in self._pages
+        with self._lock:
+            return (segment_id, page) in self._pages
 
     def drop_segments(self, prefix: str) -> int:
         """Evict every cached page of segments whose id starts with ``prefix``.
@@ -75,10 +88,20 @@ class BufferPool:
         delta store's per-version index): superseded pages would otherwise
         linger, counting toward capacity and skewing cold/hot accounting.
         """
-        doomed = [key for key in self._pages if key[0].startswith(prefix)]
-        for key in doomed:
-            del self._pages[key]
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._pages if key[0].startswith(prefix)]
+            for key in doomed:
+                del self._pages[key]
+            return len(doomed)
+
+    def segments_cached(self, prefix: str) -> int:
+        """Number of cached pages whose segment id starts with ``prefix``.
+
+        Observability for snapshot-pinned delta versions: their index pages
+        must stay resident until the last snapshot releases them.
+        """
+        with self._lock:
+            return sum(1 for key in self._pages if key[0].startswith(prefix))
 
     def pages_for(self, num_values: int) -> int:
         """Number of pages needed to hold ``num_values`` values."""
@@ -95,12 +118,14 @@ class BufferPool:
         :meth:`stats` report how much of a lazily opened database is still
         on disk versus materialized in memory.
         """
-        self._lazy_registered[segment_id] = int(num_values)
+        with self._lock:
+            self._lazy_registered[segment_id] = int(num_values)
 
     def unregister_lazy_segment(self, segment_id: str) -> None:
         """Forget one lazy segment (its structure was replaced or dropped)."""
-        self._lazy_registered.pop(segment_id, None)
-        self._lazy_materialized.pop(segment_id, None)
+        with self._lock:
+            self._lazy_registered.pop(segment_id, None)
+            self._lazy_materialized.pop(segment_id, None)
 
     def reset_lazy_registry(self) -> None:
         """Forget every lazy segment.
@@ -111,8 +136,9 @@ class BufferPool:
         ``lazy_values_pending`` forever.  ``lazy_values_loaded`` is a lifetime
         counter and survives.
         """
-        self._lazy_registered.clear()
-        self._lazy_materialized.clear()
+        with self._lock:
+            self._lazy_registered.clear()
+            self._lazy_materialized.clear()
 
     def note_materialized(self, segment_id: str, num_values: int) -> None:
         """Record that a lazy segment's values were loaded from disk.
@@ -122,9 +148,10 @@ class BufferPool:
         are scanned, and double-charging would skew Table-I-style
         comparisons between a freshly built and a reopened store.
         """
-        if segment_id not in self._lazy_materialized:
-            self._lazy_materialized[segment_id] = int(num_values)
-            self.lazy_values_loaded += int(num_values)
+        with self._lock:
+            if segment_id not in self._lazy_materialized:
+                self._lazy_materialized[segment_id] = int(num_values)
+                self.lazy_values_loaded += int(num_values)
 
     def stats(self) -> Dict[str, int]:
         """Memory accounting and eviction/lazy-loading counters.
@@ -133,6 +160,10 @@ class BufferPool:
         persistence benchmark, monitoring) can render it without importing
         pool internals.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, int]:
         cached = len(self._pages)
         return {
             "capacity_pages": self.capacity_pages,
@@ -160,13 +191,14 @@ class BufferPool:
     def access_page(self, segment_id: str, page: int) -> bool:
         """Touch one page; return True on a hit, False on a miss."""
         key = (segment_id, page)
-        if key in self._pages:
-            self._pages.move_to_end(key)
-            self.tracker.page_hits += 1
-            return True
-        self.tracker.page_reads += 1
-        self._insert(key)
-        return False
+        with self._lock:
+            if key in self._pages:
+                self._pages.move_to_end(key)
+                self.tracker.page_hits += 1
+                return True
+            self.tracker.page_reads += 1
+            self._insert(key)
+            return False
 
     def access_range(self, segment_id: str, start: int, stop: int) -> int:
         """Touch every page overlapping value indexes ``[start, stop)``.

@@ -31,9 +31,19 @@ clustering (columns materialize lazily on first scan), every update on an
 attached store is written ahead to a crash-tolerant log, and
 :meth:`RDFStore.checkpoint` compacts + snapshots + truncates that log
 (see ``docs/persistence.md``).
+
+Finally, the store is safe under concurrent access: writers serialize on a
+single-writer lock, readers pin MVCC snapshots (:meth:`RDFStore.snapshot`,
+:meth:`RDFStore.session`) that stay consistent — and decodable — across
+concurrent updates, compactions and checkpoints, and each update request's
+atomicity comes from a per-request undo log whose cost is proportional to
+the keys the request touched, never to the number of pending writes
+(see ``docs/concurrency.md`` and :mod:`repro.server`).
 """
 
 from __future__ import annotations
+
+import copy
 
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -48,6 +58,8 @@ from ..errors import PendingUpdatesError, PersistenceError, ReproError, StorageE
 from ..model import Graph, IRI, TermDictionary, Triple
 from ..persist import SnapshotInfo, SnapshotReader, write_snapshot
 from ..rio import parse_rdf
+from ..server import ReadWriteLock, SnapshotRegistry, StoreSession
+from ..server.session import ReadSnapshot
 from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine, parse_update
 from ..sql import Catalog, SqlEngine, SqlResult
 from ..storage import (
@@ -149,6 +161,12 @@ class RDFStore:
         self._context: Optional[ExecutionContext] = None
         self._sparql_engine: Optional[SparqlEngine] = None
         self._clustered = False
+        self.generation = 0
+        """Base-structure generation: bumped on every physical rebuild.
+        Together with ``delta.version`` it identifies one immutable state —
+        the version pair an MVCC read snapshot pins."""
+        self._rwlock = ReadWriteLock()
+        self._snapshots = SnapshotRegistry()
 
     # -- construction pipeline ----------------------------------------------------
 
@@ -208,21 +226,25 @@ class RDFStore:
                 reloading re-encodes OIDs and would silently drop
                 acknowledged writes; call :meth:`compact` first.
         """
-        if self.has_pending_updates():
-            raise PendingUpdatesError(
-                "cannot load with pending updates; call compact() first")
-        if isinstance(source, str):
-            triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
-        else:
-            triples = source
-        self.dictionary, self.matrix = encode_graph(triples, self.dictionary)
-        self.matrix = value_order_literals(self.matrix, self.dictionary)
-        self._invalidate()
-        # loading changes triple *content*, so any attached on-disk database
-        # no longer describes this store; detach rather than let the WAL
-        # collect records that would replay against the wrong base
-        self._detach_database()
-        return int(self.matrix.shape[0])
+        with self._rwlock.write_locked():
+            if self.has_pending_updates():
+                raise PendingUpdatesError(
+                    "cannot load with pending updates; call compact() first")
+            if isinstance(source, str):
+                triples: Iterable[Triple] = parse_rdf(source, syntax=syntax)
+            else:
+                triples = source
+            # loading appends to and re-orders the dictionary in place; open
+            # read snapshots keep the pre-load dictionary via clone-on-write
+            self._preserve_pinned_state()
+            self.dictionary, self.matrix = encode_graph(triples, self.dictionary)
+            self.matrix = value_order_literals(self.matrix, self.dictionary)
+            self._invalidate()
+            # loading changes triple *content*, so any attached on-disk database
+            # no longer describes this store; detach rather than let the WAL
+            # collect records that would replay against the wrong base
+            self._detach_database()
+            return int(self.matrix.shape[0])
 
     def discover_schema(self, config: Optional[DiscoveryConfig] = None) -> EmergentSchema:
         """Run characteristic-set discovery over the loaded triples.
@@ -236,14 +258,15 @@ class RDFStore:
         Raises:
             StorageError: when no triples have been loaded yet.
         """
-        if self.matrix.shape[0] == 0:
-            raise StorageError("no triples loaded; call load() first")
-        self.schema = discover_schema(self.matrix, self.dictionary,
-                                      config or self.config.discovery)
-        self.catalog = Catalog(self.schema, self.dictionary)
-        self.delta.attach_schema(self.schema)
-        self._invalidate(keep_schema=True)
-        return self.schema
+        with self._rwlock.write_locked():
+            if self.matrix.shape[0] == 0:
+                raise StorageError("no triples loaded; call load() first")
+            self.schema = discover_schema(self.matrix, self.dictionary,
+                                          config or self.config.discovery)
+            self.catalog = Catalog(self.schema, self.dictionary)
+            self.delta.attach_schema(self.schema)
+            self._invalidate(keep_schema=True)
+            return self.schema
 
     def cluster(self, sort_keys: Optional[Dict[int, int]] = None,
                 sort_key_names: Optional[Dict[str, str]] = None) -> ClusteringPlan:
@@ -264,18 +287,22 @@ class RDFStore:
                 (clustering remaps subject OIDs, which would invalidate the
                 delta — call :meth:`compact` first).
         """
-        if self.has_pending_updates():
-            raise PendingUpdatesError(
-                "cannot re-cluster with pending updates; call compact() first")
-        schema = self.require_schema()
-        resolved = dict(sort_keys or {})
-        if sort_key_names:
-            resolved.update(self._resolve_sort_key_names(sort_key_names))
-        self.matrix, self.clustering_plan = cluster_subjects(
-            self.matrix, self.dictionary, schema, resolved)
-        self._clustered = True
-        self.build_indexes()
-        return self.clustering_plan
+        with self._rwlock.write_locked():
+            if self.has_pending_updates():
+                raise PendingUpdatesError(
+                    "cannot re-cluster with pending updates; call compact() first")
+            # clustering re-maps subject OIDs in the shared dictionary; open
+            # read snapshots keep the pre-clustering dictionary
+            self._preserve_pinned_state()
+            schema = self.require_schema()
+            resolved = dict(sort_keys or {})
+            if sort_key_names:
+                resolved.update(self._resolve_sort_key_names(sort_key_names))
+            self.matrix, self.clustering_plan = cluster_subjects(
+                self.matrix, self.dictionary, schema, resolved)
+            self._clustered = True
+            self.build_indexes()
+            return self.clustering_plan
 
     def build_indexes(self) -> None:
         """Build the exhaustive index store and (when clustered) the clustered store.
@@ -284,6 +311,9 @@ class RDFStore:
         SPARQL engine are dropped alongside the execution context.
         """
         schema = self.schema
+        # a rebuild publishes a new immutable base state: bump the generation
+        # so the (generation, delta version) pair a snapshot pins is unique
+        self.generation += 1
         # rebuilding replaces every (possibly lazily loading) structure with
         # eager in-memory ones; drop the stale lazy-segment bookkeeping so
         # buffer_pool_stats() does not report dead segments as pending
@@ -471,27 +501,97 @@ class RDFStore:
         Raises:
             ParseError: when the text is not in the supported update subset.
         """
+        # parsing is pure — do it before taking the writer lock so a burst of
+        # updates keeps the exclusive sections (which block new snapshot
+        # pins) as short as possible, and unparsable requests never serialize
         request = parse_update(text)
-        snapshot = self.delta.snapshot()
-        try:
-            result = UpdateApplier(self).apply(request)
-            if result.changed:
-                # journal only state-changing requests: the journal (and the
-                # attached WAL, when the store is durable) is what save() and
-                # crash recovery replay, and no-ops would just slow replay
-                # down.  Recording inside the try keeps apply + log atomic: a
-                # failed WAL append (disk full) rolls the request back, so a
-                # query can never observe an update that would not survive a
-                # crash.
-                self.journal.record(text)
-        except Exception:
-            self.delta.restore(snapshot)
-            raise
-        finally:
-            # even a rolled-back request may have run queries (DELETE WHERE)
-            # and appended dictionary terms; drop plan/encoder caches either way
-            self._after_write()
-        return result
+        with self._rwlock.write_locked():
+            undo = self.delta.begin_request()
+            try:
+                result = UpdateApplier(self).apply(request)
+                if result.changed:
+                    # journal only state-changing requests: the journal (and the
+                    # attached WAL, when the store is durable) is what save() and
+                    # crash recovery replay, and no-ops would just slow replay
+                    # down.  Recording inside the try keeps apply + log atomic: a
+                    # failed WAL append (disk full) rolls the request back, so a
+                    # query can never observe an update that would not survive a
+                    # crash.
+                    self.journal.record(text)
+            except Exception:
+                # replay the undo log backwards: O(keys this request touched),
+                # never O(pending writes) — the property that keeps a burst of
+                # N uncompacted updates linear instead of quadratic
+                self.delta.abort_request(undo)
+                raise
+            else:
+                self.delta.commit_request(undo)
+            finally:
+                # even a rolled-back request may have run queries (DELETE WHERE)
+                # and appended dictionary terms; drop plan/encoder caches either way
+                self._after_write()
+            return result
+
+    def _preserve_pinned_state(self) -> None:
+        """Clone-on-write before an in-place mutation of shared state.
+
+        Updates only *append* to the dictionary (existing OIDs stay stable),
+        so snapshots survive them without copies.  Compaction, clustering and
+        reloading are different: they re-map OIDs inside the dictionary and
+        mutate schema tables in place.  When read snapshots are pinned, the
+        live store therefore switches to fresh clones and leaves the original
+        objects — which every open snapshot references directly — untouched.
+        A no-op when no snapshot is open (the common, single-threaded case).
+        """
+        if self._snapshots.active_count() == 0:
+            return
+        self.dictionary = self.dictionary.clone()
+        if self.schema is not None:
+            reduced = (self.catalog.reduced_schemas_state()
+                       if self.catalog is not None else {})
+            self.schema = copy.deepcopy(self.schema)
+            self.catalog = Catalog(self.schema, self.dictionary)
+            if reduced:
+                self.catalog.restore_reduced_schemas(reduced)
+            self.delta.attach_schema(self.schema)
+        self._context = None
+        self._sparql_engine = None
+
+    # -- concurrent access ---------------------------------------------------------------
+
+    def snapshot(self) -> ReadSnapshot:
+        """Pin an MVCC read snapshot of the current committed state.
+
+        The snapshot is a cheap versioned handle — base generation plus
+        delta version — over immutable structures; queries through it never
+        block on, and never observe, concurrent updates, compactions or
+        checkpoints.  Release it with ``close()`` (or use it as a context
+        manager) so superseded delta index pages can be reclaimed.
+
+        Returns:
+            An open :class:`~repro.server.ReadSnapshot`.
+        """
+        if self.index_store is None and self.clustered_store is None:
+            # one-time lazy build (the same one context() would do), done
+            # under the writer lock so concurrent first readers don't race
+            with self._rwlock.write_locked():
+                if self.index_store is None and self.clustered_store is None:
+                    self.build_indexes()
+        with self._rwlock.read_locked():
+            return self._snapshots.acquire(self)
+
+    def session(self) -> StoreSession:
+        """A per-client handle: snapshot reads, single-writer writes.
+
+        Each read auto-pins the latest snapshot, or a sticky one between
+        ``begin()``/``end()`` (repeatable reads).  See
+        :class:`~repro.server.StoreSession` and ``docs/concurrency.md``.
+        """
+        return StoreSession(self)
+
+    def open_snapshot_count(self) -> int:
+        """Number of read snapshots currently pinned on this store."""
+        return self._snapshots.active_count()
 
     def _after_write(self) -> None:
         """Invalidate plan-dependent caches after a write.
@@ -519,17 +619,28 @@ class RDFStore:
         are *not* re-run — call :meth:`discover_schema` / :meth:`cluster`
         explicitly when the data has drifted far enough.
 
+        Open read snapshots are unaffected: they keep answering (and
+        decoding) from the pre-compaction state.  When snapshots are
+        pinned, the dictionary and schema are cloned before being mutated
+        (copy-on-write), and the pinned delta versions' index pages stay in
+        the buffer pool until the last snapshot is released.
+
         Returns:
             A :class:`~repro.updates.CompactionReport`; a no-op report when
             nothing was pending.
         """
-        report = compact_store(self)
-        if report.merged_inserts or report.applied_deletes:
-            self.matrix = value_order_literals(self.matrix, self.dictionary)
-            if self.schema is not None:
-                self.catalog = Catalog(self.schema, self.dictionary)
-            self.build_indexes()
-        return report
+        with self._rwlock.write_locked():
+            # compaction re-maps literal OIDs (value-order restore) and
+            # mutates schema tables in place; clone both for the live store
+            # when open snapshots still reference the current objects
+            self._preserve_pinned_state()
+            report = compact_store(self)
+            if report.merged_inserts or report.applied_deletes:
+                self.matrix = value_order_literals(self.matrix, self.dictionary)
+                if self.schema is not None:
+                    self.catalog = Catalog(self.schema, self.dictionary)
+                self.build_indexes()
+            return report
 
     # -- persistence --------------------------------------------------------------------
 
@@ -560,9 +671,10 @@ class RDFStore:
             PersistenceError: when the target exists but is not a repro
                 database directory.
         """
-        info = write_snapshot(self, path, attach=True)
-        self.db_path = Path(path)
-        return info
+        with self._rwlock.write_locked():
+            info = write_snapshot(self, path, attach=True)
+            self.db_path = Path(path)
+            return info
 
     @classmethod
     def open(cls, path: Path | str, config: Optional[StoreConfig] = None,
@@ -648,8 +760,29 @@ class RDFStore:
                                        + max(0, replayed - seeded))
         store.db_path = Path(path)
         if into is not None:
-            into.__dict__.clear()
-            into.__dict__.update(store.__dict__)
+            # swap under the served store's writer lock: snapshot acquisition
+            # takes the read side, so no pin can interleave with the swap.
+            # The lock and snapshot registry survive it — they are what other
+            # threads synchronize and count on — and the attribute set is
+            # replaced without an intermediate cleared state, so lock-free
+            # attribute reads (stats, summaries) see old or new values, never
+            # a missing attribute or an unheld lock object.  Snapshots pinned
+            # before the swap stay valid (they hold direct references to the
+            # old structures and release against the delta they pinned) and
+            # keep counting in open_snapshot_count().
+            lock = into._rwlock
+            registry = into._snapshots
+            new_state = dict(store.__dict__)
+            new_state["_rwlock"] = lock
+            new_state["_snapshots"] = registry
+            with lock.write_locked():
+                into.__dict__.update(new_state)
+                # only now that the swap is published: drop the registry's
+                # cached frozen view.  The new incarnation's (generation,
+                # version) pairs restart and could collide with the cached
+                # key; invalidating under the write lock closes the window
+                # in which a draining reader could re-cache the old state.
+                registry.invalidate_cache()
             return into
         return store
 
@@ -674,13 +807,14 @@ class RDFStore:
             PersistenceError: when no path is given and the store is not
                 attached to a database.
         """
-        target = Path(path) if path is not None else self.db_path
-        if target is None:
-            raise PersistenceError(
-                "store is not attached to a database; pass a path or call save() first")
-        compaction = self.compact()
-        snapshot = self.save(target)
-        return CheckpointReport(compaction=compaction, snapshot=snapshot)
+        with self._rwlock.write_locked():
+            target = Path(path) if path is not None else self.db_path
+            if target is None:
+                raise PersistenceError(
+                    "store is not attached to a database; pass a path or call save() first")
+            compaction = self.compact()
+            snapshot = self.save(target)
+            return CheckpointReport(compaction=compaction, snapshot=snapshot)
 
     def _detach_database(self) -> None:
         """Forget the attached on-disk database (content has diverged)."""
@@ -839,6 +973,9 @@ class RDFStore:
             summary["irregular_triples"] = len(self.clustered_store.irregular)
         if self.has_pending_updates():
             summary.update(self.delta.summary())
+        open_snapshots = self._snapshots.active_count()
+        if open_snapshots:
+            summary["open_snapshots"] = open_snapshots
         if self.db_path is not None:
             summary["database"] = str(self.db_path)
             if self.journal.wal is not None:

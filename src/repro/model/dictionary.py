@@ -115,6 +115,21 @@ class TermDictionary:
         for oid, term in enumerate(self._oid_to_term):
             yield term, oid
 
+    # -- copying -------------------------------------------------------------
+
+    def clone(self) -> "TermDictionary":
+        """An independent copy sharing the (immutable) term objects.
+
+        Used by the store's copy-on-write path: before compaction or
+        re-clustering re-maps OIDs in place, the live store switches to a
+        clone so MVCC read snapshots keep decoding through the original.
+        """
+        twin = TermDictionary()
+        twin._term_to_oid = dict(self._term_to_oid)
+        twin._oid_to_term = list(self._oid_to_term)
+        twin._value_order_watermark = self._value_order_watermark
+        return twin
+
     # -- persistence ---------------------------------------------------------
 
     @classmethod

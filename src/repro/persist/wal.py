@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from pathlib import Path
 from typing import BinaryIO, List, Optional, Tuple
@@ -68,6 +69,11 @@ class WriteAheadLog:
     def __init__(self, path: Path | str, epoch: str) -> None:
         self.path = Path(path)
         self.epoch = epoch
+        self._lock = threading.RLock()
+        """Serializes append/scan through one handle.  The store's writer
+        lock already guarantees one update at a time; this lock keeps the
+        handle itself coherent for auxiliary readers (``record_count`` from
+        a monitoring thread while the writer appends)."""
         self._next_seq = 0
         self._cached_texts: Optional[List[str]] = None
         self._valid_end: Optional[int] = None
@@ -137,6 +143,10 @@ class WriteAheadLog:
         :class:`PersistenceError` when the write cannot be made durable —
         callers treat that as the request having failed.
         """
+        with self._lock:
+            return self._append_locked(text)
+
+    def _append_locked(self, text: str) -> int:
         if self._valid_end is None:
             self._refresh_from_disk()
         try:
@@ -178,9 +188,10 @@ class WriteAheadLog:
         *header* is not tolerated — that is a different file, not a torn
         write.
         """
-        if self._cached_texts is None:
-            self._refresh_from_disk()
-        return list(self._cached_texts)
+        with self._lock:
+            if self._cached_texts is None:
+                self._refresh_from_disk()
+            return list(self._cached_texts)
 
     def record_count(self) -> int:
         """Number of intact records currently in the log."""

@@ -1,0 +1,153 @@
+"""The single-writer / multi-reader lock discipline.
+
+One :class:`ReadWriteLock` guards each :class:`~repro.core.RDFStore`:
+
+* **writers** (``update``, ``compact``, ``save``, ``checkpoint``, ``load``,
+  ``discover_schema``, ``cluster``) hold the exclusive side for the duration
+  of the operation — there is exactly one writer at a time, and a reader can
+  never observe a half-applied request;
+* **readers** hold the shared side only while *acquiring* a snapshot
+  (pinning the current base generation + delta version and freezing the
+  delta view).  Query execution itself runs lock-free against the pinned
+  immutable state, so a long scan never blocks the writer and a long update
+  only delays snapshot acquisition, not queries already running.
+
+The write side is reentrant (``checkpoint`` → ``compact`` → ``save`` all
+take it on one thread), and a thread holding the write lock passes straight
+through the read side — WAL replay calls ``update()`` which is free to pin
+snapshots for its ``DELETE WHERE`` evaluation.
+
+Admission is **phase-fair**, which is what makes a continuous writer and a
+continuous stream of readers coexist:
+
+* while a writer is active or waiting, newly arriving readers queue up
+  (so a steady stream of snapshot pins cannot starve the write path);
+* when the writer releases, the *whole cohort* of queued readers is
+  admitted before the next writer acquisition (so a writer hammering
+  updates back-to-back cannot starve readers either).
+
+Readers never hold the shared side across user code (the store releases it
+before query execution starts), which keeps both rules deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class ReadWriteLock:
+    """Phase-fair shared/exclusive lock with a reentrant write side."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: Optional[int] = None
+        self._write_depth = 0
+        self._writers_waiting = 0
+        self._readers_waiting = 0
+        self._reader_credits = 0
+        """Queued readers admitted ahead of the next writer: set to the
+        waiting-reader count at every write release, drained as they enter.
+        A writer cannot acquire while credits remain — that is the
+        phase-fairness guarantee."""
+
+    # -- introspection -------------------------------------------------------
+
+    def owns_write(self) -> bool:
+        """Whether the calling thread currently holds the exclusive side."""
+        return self._writer == threading.get_ident()
+
+    @property
+    def active_readers(self) -> int:
+        """Number of threads currently holding the shared side."""
+        return self._readers
+
+    # -- shared (read) side --------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Take the shared side.
+
+        Blocks while a writer is active, or waiting — unless this reader
+        belongs to the cohort admitted at the last write release.
+        """
+        if self.owns_write():
+            # the exclusive side subsumes read access; nothing to track —
+            # release_read is never called on this path (see read_locked)
+            return
+        with self._cond:
+            while True:
+                admitted = self._reader_credits > 0
+                if self._writer is None and (admitted or not self._writers_waiting):
+                    if admitted:
+                        self._reader_credits -= 1
+                    self._readers += 1
+                    return
+                self._readers_waiting += 1
+                try:
+                    self._cond.wait()
+                finally:
+                    self._readers_waiting -= 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold the shared side for the duration of the ``with`` block."""
+        if self.owns_write():
+            yield
+            return
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- exclusive (write) side ----------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Take the exclusive side; reentrant on the owning thread.
+
+        Waits until active readers drain *and* the reader cohort admitted by
+        the previous write release has passed through.
+        """
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while (self._writer is not None or self._readers
+                       or self._reader_credits):
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by a thread that does not hold the lock")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                # phase fairness: everything queued behind this writer gets
+                # in before the next writer — even one re-acquiring instantly
+                self._reader_credits = self._readers_waiting
+                self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the exclusive side for the duration of the ``with`` block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

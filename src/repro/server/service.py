@@ -1,0 +1,138 @@
+"""The thread-safe front end: a service facade and a threaded query server.
+
+:class:`StoreService` is the object to share between threads: every read
+pins an MVCC snapshot (so it sees a committed state and holds no lock while
+executing) and every write goes through the store's single-writer lock.
+:class:`QueryServer` puts a small thread pool in front of a service, turning
+it into the in-process equivalent of a SPARQL endpoint: ``submit_*`` returns
+a :class:`concurrent.futures.Future` immediately, and any number of client
+threads can submit concurrently.
+
+Neither class owns the store: building, compacting and persisting remain
+the owner's business (the service merely forwards ``compact`` /
+``checkpoint`` through the writer lock so maintenance can run while the
+server keeps answering from pinned snapshots).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import List, Optional
+
+from ..sparql import PlannerOptions, QueryResult
+from ..sql import SqlResult
+from .session import ReadSnapshot, StoreSession
+
+
+class StoreService:
+    """Thread-safe query/update facade over one :class:`~repro.core.RDFStore`.
+
+    Safe to share between any number of threads; see ``docs/concurrency.md``
+    for the locking discipline.
+    """
+
+    def __init__(self, store) -> None:
+        self.store = store
+
+    # -- reads (snapshot-isolated, lock-free execution) ------------------------
+
+    def query(self, text: str, options: Optional[PlannerOptions] = None,
+              decode: bool = False):
+        """Run one SPARQL query against the latest committed state.
+
+        Returns a :class:`~repro.sparql.QueryResult`, or decoded rows with
+        ``decode=True`` (decoded under the same snapshot, so a concurrent
+        compaction can never skew the terms).
+        """
+        with self.store.snapshot() as snapshot:
+            result = snapshot.sparql(text, options)
+            return snapshot.decode_rows(result) if decode else result
+
+    def sql(self, text: str, decode: bool = False):
+        """Run one SQL query against the latest committed state."""
+        with self.store.snapshot() as snapshot:
+            result = snapshot.sql(text)
+            return snapshot.decode_rows(result) if decode else result
+
+    def snapshot(self) -> ReadSnapshot:
+        """Pin an explicit snapshot (caller must ``close()`` it)."""
+        return self.store.snapshot()
+
+    def session(self) -> StoreSession:
+        """A per-client session handle (sticky snapshots, serialized writes)."""
+        return self.store.session()
+
+    # -- writes (single-writer) ------------------------------------------------
+
+    def update(self, text: str):
+        """Execute one SPARQL Update request (serialized with other writers)."""
+        return self.store.update(text)
+
+    def compact(self):
+        """Fold pending writes into base storage; open snapshots keep their view."""
+        return self.store.compact()
+
+    def checkpoint(self, path=None):
+        """Compact + snapshot + truncate the WAL; open snapshots keep their view."""
+        return self.store.checkpoint(path)
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-level counters: open snapshots, pending writes, versions."""
+        store = self.store
+        return {
+            "open_snapshots": store.open_snapshot_count(),
+            "base_generation": store.generation,
+            "delta_version": store.delta.version,
+            "pending_inserts": store.delta.insert_count(),
+            "pending_deletes": store.delta.tombstone_count(),
+        }
+
+
+class QueryServer:
+    """A small threaded executor serving queries and updates over one store.
+
+    ``workers`` threads execute submitted requests concurrently; reads run
+    against pinned snapshots, writes serialize on the store's writer lock.
+    Use as a context manager, or call :meth:`shutdown` explicitly.
+    """
+
+    def __init__(self, store, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("a query server needs at least one worker thread")
+        self.service = StoreService(store)
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-query")
+
+    # -- submission --------------------------------------------------------------
+
+    def submit_query(self, text: str, options: Optional[PlannerOptions] = None,
+                     decode: bool = False) -> "Future[QueryResult]":
+        """Queue one SPARQL query; resolve to its result."""
+        return self._pool.submit(self.service.query, text, options, decode)
+
+    def submit_sql(self, text: str, decode: bool = False) -> "Future[SqlResult]":
+        """Queue one SQL query; resolve to its result."""
+        return self._pool.submit(self.service.sql, text, decode)
+
+    def submit_update(self, text: str) -> Future:
+        """Queue one SPARQL Update; resolve to its :class:`UpdateResult`."""
+        return self._pool.submit(self.service.update, text)
+
+    def map_queries(self, texts: List[str],
+                    options: Optional[PlannerOptions] = None) -> List[Future]:
+        """Queue a batch of queries; one future per text, submission order."""
+        return [self.submit_query(text, options) for text in texts]
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -26,6 +26,7 @@ organization changes.
 from __future__ import annotations
 
 import re
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -301,6 +302,9 @@ class PlanCache:
         if capacity < 0:
             raise ValueError("plan cache capacity must be >= 0")
         self.capacity = capacity
+        self._lock = threading.RLock()
+        """Concurrent readers share one cache while the writer clears it on
+        every update; all entry/counter access is serialized."""
         self._entries: "OrderedDict[tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -333,42 +337,47 @@ class PlanCache:
 
     def lookup(self, key: tuple):
         """Return the cached entry (refreshing recency) or ``None``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def insert(self, key: tuple, value) -> None:
         """Insert an entry, evicting the least recently used beyond capacity."""
         if self.capacity == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry, reset the hit/miss counters, bump the generation."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.generation += 1
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.generation += 1
 
     def stats(self) -> Dict[str, int]:
         """Counters for monitoring: size, capacity, hits, misses, evictions."""
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "generation": self.generation,
-        }
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "generation": self.generation,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -15,7 +15,11 @@ cluster.  This package makes the result *writable* without rebuilding:
 * :class:`UpdateJournal` — the durability hook: texts of the requests
   applied since the last compaction, optionally mirrored to an on-disk
   write-ahead log (:mod:`repro.persist.wal`) so acknowledged writes
-  survive crashes and ``RDFStore.open`` can replay them.
+  survive crashes and ``RDFStore.open`` can replay them;
+* :class:`UndoLog` / :class:`FrozenDelta` — the concurrency primitives:
+  per-request undo logs make request atomicity O(touched keys), and frozen
+  delta views give MVCC read snapshots an immutable state to query while
+  the live delta keeps mutating (see ``docs/concurrency.md``).
 
 Queries between writes and compactions stay correct because every access
 path in :mod:`repro.engine` merges ``base ∪ delta − tombstones`` (the
@@ -24,12 +28,14 @@ MergeScan layer); see ``docs/updates.md`` and ``docs/persistence.md``.
 
 from .apply import UpdateApplier, UpdateResult
 from .compaction import CompactionReport, compact_store
-from .delta import DeltaStore
+from .delta import DeltaStore, FrozenDelta, UndoLog
 from .journal import UpdateJournal
 
 __all__ = [
     "CompactionReport",
     "DeltaStore",
+    "FrozenDelta",
+    "UndoLog",
     "UpdateApplier",
     "UpdateJournal",
     "UpdateResult",

@@ -19,14 +19,31 @@ re-inserting a tombstoned base triple removes the tombstone (resurrection).
 The delta index is rebuilt lazily after mutations — deltas are small by
 design, and :func:`repro.updates.compaction.compact_store` folds them into
 the base before they grow large.
+
+Two concurrency-facing mechanisms live here as well:
+
+* **per-request undo logs** — ``RDFStore.update`` brackets each request with
+  :meth:`DeltaStore.begin_request` / :meth:`DeltaStore.commit_request`.
+  Every mutation records its *inverse* in the active :class:`UndoLog`, so a
+  failed request is rolled back by replaying only the keys it touched —
+  O(touched), not O(pending) — which keeps a burst of N uncompacted updates
+  linear instead of quadratic;
+* **frozen views** — :meth:`DeltaStore.freeze` captures the current delta
+  state as an immutable :class:`FrozenDelta` that MVCC read snapshots query
+  while the live delta keeps mutating.  Frozen views share the (immutable)
+  per-version permutation index; versions still referenced by a pinned
+  snapshot keep their buffer-pool pages until the pin is released
+  (:meth:`DeltaStore.pin_version` / :meth:`DeltaStore.unpin_version`).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..errors import StorageError
 from ..storage import ExhaustiveIndexStore
 
 TripleKey = Tuple[int, int, int]
@@ -67,6 +84,36 @@ def match_characteristic_set(schema, props: Set[int]) -> Optional[int]:
     return LEFTOVER
 
 
+class UndoLog:
+    """The inverse operations of one in-flight update request.
+
+    Each entry is ``(op, key)`` where ``op`` names what the request *did* to
+    ``key``; :meth:`DeltaStore.abort_request` replays the entries backwards
+    to restore the pre-request state.  The log grows with the keys the
+    request actually touched, never with the number of pending writes — this
+    is what makes request atomicity O(touched) instead of O(pending)."""
+
+    __slots__ = ("ops",)
+
+    #: The request added ``key`` to the pending inserts.
+    INSERTED = "inserted"
+    #: The request removed ``key`` from the pending inserts (delta-only delete).
+    INSERT_REMOVED = "insert_removed"
+    #: The request tombstoned the base triple ``key``.
+    TOMBSTONED = "tombstoned"
+    #: The request resurrected ``key`` (dropped its tombstone).
+    TOMBSTONE_REMOVED = "tombstone_removed"
+
+    def __init__(self) -> None:
+        self.ops: List[Tuple[str, TripleKey]] = []
+
+    def record(self, op: str, key: TripleKey) -> None:
+        self.ops.append((op, key))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
 class DeltaStore:
     """Pending writes over an immutable base store, in OID space."""
 
@@ -82,6 +129,15 @@ class DeltaStore:
         self._index: Optional[ExhaustiveIndexStore] = None
         self._tombstones_by_p: Optional[Dict[int, List[TripleKey]]] = None
         self.version = 0
+        self._undo: Optional[UndoLog] = None
+        self._pin_lock = threading.Lock()
+        """Guards the pin/deferred-drop bookkeeping: snapshots release their
+        pins from reader threads while the writer may be superseding the
+        version they pinned."""
+        self._pins: Dict[int, int] = {}
+        """Pin counts per delta version held by open read snapshots."""
+        self._deferred_drops: Set[int] = set()
+        """Superseded versions whose index pages are still pinned."""
 
     # -- mutation -----------------------------------------------------------------
 
@@ -95,12 +151,14 @@ class DeltaStore:
         key = (int(s), int(p), int(o))
         if key in self._tombstones:
             self._tombstones.discard(key)
+            self._record_undo(UndoLog.TOMBSTONE_REMOVED, key)
             self._dirty()
             return True
         if in_base or key in self._inserts:
             return False
         self._inserts[key] = None
         self._note_subject_insert(key)
+        self._record_undo(UndoLog.INSERTED, key)
         self._dirty()
         return True
 
@@ -114,37 +172,67 @@ class DeltaStore:
         if key in self._inserts:
             del self._inserts[key]
             self._drop_subject_insert(key)
+            self._record_undo(UndoLog.INSERT_REMOVED, key)
             self._dirty()
             return True
         if key in self._tombstones or not in_base:
             return False
         self._tombstones.add(key)
+        self._record_undo(UndoLog.TOMBSTONED, key)
         self._dirty()
         return True
 
-    def snapshot(self) -> tuple:
-        """Capture the mutable write state (cheap: deltas are small).
+    # -- request atomicity (per-request undo log) -----------------------------------
 
-        Used by ``RDFStore.update`` to make a multi-statement request
-        atomic: on failure the pre-request state is restored.
+    def begin_request(self) -> UndoLog:
+        """Open an undo log for one update request.
+
+        Every mutation until :meth:`commit_request` / :meth:`abort_request`
+        records its inverse in the returned log.  Requests cannot nest — the
+        store's single-writer lock guarantees one request at a time, and a
+        second ``begin_request`` is a programming error, not a race.
         """
-        return (
-            dict(self._inserts),
-            set(self._tombstones),
-            {s: set(p) for s, p in self._subject_props.items()},
-            {s: set(k) for s, k in self._subject_inserts.items()},
-            dict(self._routes),
-        )
+        if self._undo is not None:
+            raise StorageError("an update request is already in flight")
+        self._undo = UndoLog()
+        return self._undo
 
-    def restore(self, state: tuple) -> None:
-        """Roll the write state back to a :meth:`snapshot`."""
-        inserts, tombstones, props, subject_inserts, routes = state
-        self._inserts = dict(inserts)
-        self._tombstones = set(tombstones)
-        self._subject_props = {s: set(p) for s, p in props.items()}
-        self._subject_inserts = {s: set(k) for s, k in subject_inserts.items()}
-        self._routes = dict(routes)
-        self._dirty()
+    def commit_request(self, undo: UndoLog) -> None:
+        """Close a request's undo log, keeping its effects."""
+        if undo is not self._undo:
+            raise StorageError("commit_request called with a stale undo log")
+        self._undo = None
+
+    def abort_request(self, undo: UndoLog) -> None:
+        """Roll back one request by replaying its undo log backwards.
+
+        Only the keys the request touched are visited.  A re-added insert
+        lands at the end of the insert order; that order only affects the
+        matrix layout at the next compaction, never query results (RDF
+        graphs are sets).
+        """
+        if undo is not self._undo:
+            raise StorageError("abort_request called with a stale undo log")
+        self._undo = None
+        for op, key in reversed(undo.ops):
+            if op == UndoLog.INSERTED:
+                self._inserts.pop(key, None)
+                self._drop_subject_insert(key)
+            elif op == UndoLog.INSERT_REMOVED:
+                self._inserts[key] = None
+                self._note_subject_insert(key)
+            elif op == UndoLog.TOMBSTONED:
+                self._tombstones.discard(key)
+            elif op == UndoLog.TOMBSTONE_REMOVED:
+                self._tombstones.add(key)
+            else:  # pragma: no cover - the four ops above are exhaustive
+                raise StorageError(f"unknown undo operation {op!r}")
+        if undo.ops:
+            self._dirty()
+
+    def _record_undo(self, op: str, key: TripleKey) -> None:
+        if self._undo is not None:
+            self._undo.record(op, key)
 
     def attach_schema(self, schema) -> None:
         """Attach (or replace) the schema used for CS routing."""
@@ -161,14 +249,87 @@ class DeltaStore:
         self._dirty()
 
     def _dirty(self) -> None:
-        if self._index is not None and self.pool is not None:
+        if self.pool is not None:
             # the index is rebuilt under a new versioned segment name; evict
             # the superseded generation's pages so they stop counting toward
-            # pool capacity and cold/hot accounting
-            self.pool.drop_segments(f"{self.name}.v")
+            # pool capacity and cold/hot accounting.  A version pinned by an
+            # open read snapshot is *not* evicted — its frozen view still
+            # scans those segments — only queued for reclaim at unpin time.
+            # The deferred set can also hold the *current* version: a frozen
+            # view may have built (and released) index pages the live store
+            # never did (see unpin_version).
+            with self._pin_lock:
+                stale_pages = (self._index is not None
+                               or self.version in self._deferred_drops)
+                if stale_pages:
+                    if self._pins.get(self.version):
+                        self._deferred_drops.add(self.version)
+                    else:
+                        self._deferred_drops.discard(self.version)
+                        self.pool.drop_segments(self._segment_prefix(self.version))
         self._index = None
         self._tombstones_by_p = None
         self.version += 1
+
+    def _segment_prefix(self, version: int) -> str:
+        """Buffer-pool segment prefix of one version's permutation index.
+
+        The trailing separator keeps ``v1`` from also matching ``v10``."""
+        return f"{self.name}.v{version}."
+
+    # -- snapshot pinning ------------------------------------------------------------
+
+    def pin_version(self) -> int:
+        """Pin the current version (an open read snapshot references it).
+
+        While a version is pinned, superseding it does not evict its index
+        pages from the buffer pool — a frozen view may still be scanning
+        them.  Returns the pinned version for :meth:`unpin_version`.
+        """
+        with self._pin_lock:
+            self._pins[self.version] = self._pins.get(self.version, 0) + 1
+            return self.version
+
+    def unpin_version(self, version: int) -> None:
+        """Release one pin; reclaim the version's pages once unreferenced."""
+        with self._pin_lock:
+            remaining = self._pins.get(version, 0) - 1
+            if remaining > 0:
+                self._pins[version] = remaining
+                return
+            self._pins.pop(version, None)
+            if version == self.version:
+                # the version is still current: its pages must never be
+                # dropped here — the live index (if built) is in active use.
+                # When only a frozen view built pages (live _index is None),
+                # queue them so the next supersession's _dirty() reclaims
+                # them instead of leaking them in the pool.
+                if self._index is None:
+                    self._deferred_drops.add(version)
+                return
+            self._deferred_drops.discard(version)
+        if self.pool is not None:
+            # superseded and unreferenced — whether the drop was deferred at
+            # supersession time or the pages were built by a frozen view the
+            # live store never queued a drop for, sweep them now
+            self.pool.drop_segments(self._segment_prefix(version))
+
+    def pinned_versions(self) -> Set[int]:
+        """Versions currently referenced by open read snapshots."""
+        with self._pin_lock:
+            return set(self._pins)
+
+    # -- frozen views (MVCC read epochs) -----------------------------------------------
+
+    def freeze(self) -> "FrozenDelta":
+        """An immutable view of the current delta state.
+
+        The view copies the insert/tombstone bookkeeping (O(pending), done
+        once per read epoch, typically cached by the snapshot registry) and
+        *shares* the already-built permutation index — index objects are
+        immutable per version; mutations always build a new one.
+        """
+        return FrozenDelta(self)
 
     def _note_subject_insert(self, key: TripleKey) -> None:
         subject, predicate = key[0], key[1]
@@ -387,3 +548,44 @@ class DeltaStore:
             "routed_cs_buckets": sum(1 for cs_id in routed if cs_id is not None),
             "leftover_inserts": int(routed.get(LEFTOVER, np.empty((0, 3))).shape[0]),
         }
+
+
+class FrozenDelta(DeltaStore):
+    """An immutable point-in-time view of a :class:`DeltaStore`.
+
+    MVCC read snapshots query one of these while the live delta keeps
+    mutating: the view owns shallow copies of the insert/tombstone
+    bookkeeping and shares the per-version permutation index (immutable —
+    mutations always create a new one under a new segment name).  Every read
+    method of :class:`DeltaStore` works unchanged; the mutating ones raise
+    :class:`~repro.errors.StorageError`.
+    """
+
+    def __init__(self, source: DeltaStore) -> None:
+        super().__init__(schema=source.schema, pool=source.pool, name=source.name)
+        self.version = source.version
+        self._inserts = dict(source._inserts)
+        self._tombstones = set(source._tombstones)
+        self._subject_props = {s: set(p) for s, p in source._subject_props.items()}
+        self._subject_inserts = {s: set(k) for s, k in source._subject_inserts.items()}
+        self._routes = dict(source._routes)
+        self._index = source._index
+        self._frozen = True
+
+    def _immutable(self) -> StorageError:
+        return StorageError("a frozen delta view is immutable; write through the store")
+
+    def insert(self, s: int, p: int, o: int, in_base: bool) -> bool:
+        raise self._immutable()
+
+    def delete(self, s: int, p: int, o: int, in_base: bool) -> bool:
+        raise self._immutable()
+
+    def clear(self) -> None:
+        raise self._immutable()
+
+    def begin_request(self) -> UndoLog:
+        raise self._immutable()
+
+    def attach_schema(self, schema) -> None:
+        raise self._immutable()

@@ -29,14 +29,21 @@ memory but not appended to the log a second time.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, List
 
 
 class UpdateJournal:
-    """Texts of the update requests applied since the last compaction."""
+    """Texts of the update requests applied since the last compaction.
+
+    Recording always happens under the store's single-writer lock; the
+    journal's own lock additionally keeps :meth:`texts` / :meth:`__len__`
+    coherent for monitoring threads that inspect a live store.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._texts: List[str] = []
         self._wal = None
         self._replaying = False
@@ -52,21 +59,25 @@ class UpdateJournal:
         fails, the journal must not remember a request the caller will see
         fail (and roll back), or a later ``save()`` would replay it.
         """
-        if self._wal is not None and not self._replaying:
-            self._wal.append(text)
-        self._texts.append(text)
+        with self._lock:
+            if self._wal is not None and not self._replaying:
+                self._wal.append(text)
+            self._texts.append(text)
 
     def clear(self) -> None:
         """Forget the in-memory texts (called after compaction folds them
         into the base matrix; the attached WAL is *not* touched)."""
-        self._texts.clear()
+        with self._lock:
+            self._texts.clear()
 
     def texts(self) -> List[str]:
         """The recorded request texts, oldest first."""
-        return list(self._texts)
+        with self._lock:
+            return list(self._texts)
 
     def __len__(self) -> int:
-        return len(self._texts)
+        with self._lock:
+            return len(self._texts)
 
     # -- WAL attachment ------------------------------------------------------
 

@@ -1,0 +1,561 @@
+"""Concurrency tests: undo logs, MVCC snapshots, locks, and stress runs.
+
+The invariants under test:
+
+* **request atomicity via undo logs** — a failed request rolls back by
+  replaying only the keys it touched (never a full-delta copy), leaving the
+  pre-request state bit-identical;
+* **snapshot isolation** — a pinned :class:`ReadSnapshot` answers (and
+  decodes) identically across concurrent updates, compactions and
+  checkpoints; readers never observe a half-applied request ("torn read");
+* **deferred reclaim** — compacting while a snapshot is open must not evict
+  the pinned delta version's index pages until the snapshot is released;
+* **final-state equivalence** — after a concurrent run, the store equals a
+  fresh store that applied the same updates serially.
+
+The stress tests run ``READERS`` (≥ 8) reader threads against one writer
+hammering update/query/compact/checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from _datasets import EX, book_triples
+from repro import QueryServer, RDFStore, StoreConfig, StoreService
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.errors import PersistenceError, StorageError
+from repro.server import ReadWriteLock
+from repro.updates import DeltaStore, FrozenDelta
+
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+READERS = 8
+WRITER_REQUESTS = 60
+
+PAIR_LEFT = f"{EX}left"
+PAIR_RIGHT = f"{EX}right"
+
+AUTHOR_QUERY = f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . }}"
+
+
+def _config() -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+
+
+def build_store() -> RDFStore:
+    return RDFStore.build(book_triples(), config=_config())
+
+
+def pair_update(i: int) -> str:
+    """One atomic request inserting a left/right triple *pair*.
+
+    Snapshot isolation makes the pair indivisible: any reader must count
+    exactly as many lefts as rights, or it has seen a torn request.
+    """
+    return (f"INSERT DATA {{ "
+            f"<{EX}item/{i}> <{PAIR_LEFT}> \"L{i}\" . "
+            f"<{EX}item/{i}> <{PAIR_RIGHT}> \"R{i}\" . }}")
+
+
+PAIR_COUNT_LEFT = f"SELECT (COUNT(?s) AS ?c) WHERE {{ ?s <{PAIR_LEFT}> ?v . }}"
+PAIR_COUNT_RIGHT = f"SELECT (COUNT(?s) AS ?c) WHERE {{ ?s <{PAIR_RIGHT}> ?v . }}"
+
+
+def _count(snapshot, query: str) -> int:
+    rows = snapshot.sparql(query).rows()
+    return int(rows[0][0]) if rows else 0
+
+
+# -- undo log -----------------------------------------------------------------------
+
+
+class TestUndoLog:
+    def test_failed_request_rolls_back_exactly(self, monkeypatch):
+        store = build_store()
+        store.update(f'INSERT DATA {{ <{EX}pre> <{PAIR_LEFT}> "pre" . }}')
+        before_inserts = dict(store.delta._inserts)
+        before_tombs = set(store.delta._tombstones)
+
+        def boom(text):
+            raise PersistenceError("simulated WAL failure")
+
+        monkeypatch.setattr(store.journal, "record", boom)
+        with pytest.raises(PersistenceError):
+            store.update(
+                f'INSERT DATA {{ <{EX}item/1> <{PAIR_LEFT}> "L1" . }} ; '
+                f'DELETE DATA {{ <{EX}pre> <{PAIR_LEFT}> "pre" . }}')
+        assert dict(store.delta._inserts) == before_inserts
+        assert set(store.delta._tombstones) == before_tombs
+        # the store still works after a rollback
+        monkeypatch.undo()
+        store.update(pair_update(2))
+        assert store.delta.insert_count() == len(before_inserts) + 2
+
+    def test_undo_cost_is_per_request_not_per_pending(self):
+        """The log records touched keys only — the O(N) full-delta copy is gone."""
+        delta = DeltaStore()
+        for i in range(1000):
+            delta.insert(i, 1, 2, in_base=False)
+        undo = delta.begin_request()
+        delta.insert(5000, 1, 2, in_base=False)
+        delta.delete(3, 1, 2, in_base=False)
+        assert len(undo) == 2  # not 1002
+        delta.abort_request(undo)
+        assert delta.insert_count() == 1000
+        assert delta.contains_insert(3, 1, 2)
+        assert not delta.contains_insert(5000, 1, 2)
+
+    def test_rollback_restores_tombstones_and_resurrections(self):
+        delta = DeltaStore()
+        delta.insert(1, 2, 3, in_base=False)
+        delta.delete(10, 2, 3, in_base=True)  # pre-existing tombstone
+        undo = delta.begin_request()
+        delta.insert(10, 2, 3, in_base=True)   # resurrect
+        delta.delete(20, 2, 3, in_base=True)   # new tombstone
+        delta.delete(1, 2, 3, in_base=False)   # remove pending insert
+        delta.abort_request(undo)
+        assert delta.is_tombstoned(10, 2, 3)
+        assert not delta.is_tombstoned(20, 2, 3)
+        assert delta.contains_insert(1, 2, 3)
+
+    def test_requests_cannot_nest(self):
+        delta = DeltaStore()
+        log = delta.begin_request()
+        with pytest.raises(StorageError):
+            delta.begin_request()
+        delta.commit_request(log)
+        with pytest.raises(StorageError):
+            delta.commit_request(log)
+
+
+# -- MVCC snapshots -----------------------------------------------------------------
+
+
+class TestReadSnapshots:
+    def test_snapshot_does_not_see_later_updates(self):
+        store = build_store()
+        with store.snapshot() as snap:
+            before = sorted(snap.decode_rows(snap.sparql(AUTHOR_QUERY)))
+            store.update(pair_update(1))
+            store.update(f'DELETE WHERE {{ <{EX}book/3> ?p ?o . }}')
+            assert sorted(snap.decode_rows(snap.sparql(AUTHOR_QUERY))) == before
+        # a fresh snapshot sees the new state
+        with store.snapshot() as fresh:
+            after = sorted(fresh.decode_rows(fresh.sparql(AUTHOR_QUERY)))
+        assert len(after) == len(before) - 1
+
+    def test_snapshot_survives_compaction_and_decodes_pinned_terms(self):
+        """Compaction re-maps literal OIDs; a pinned snapshot must keep
+        decoding through the dictionary it was pinned with."""
+        store = build_store()
+        year_query = f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . }}"
+        # "0 first" sorts before every existing literal, so the value-order
+        # restore at compaction re-maps a large prefix of literal OIDs
+        store.update(f'INSERT DATA {{ <{EX}book/new> <{EX}in_year> '
+                     f'"1000"^^<{XSD_INT}> . }}')
+        snap = store.snapshot()
+        before = sorted(snap.decode_rows(snap.sparql(year_query)))
+        report = store.compact()
+        assert report.merged_inserts == 1
+        assert sorted(snap.decode_rows(snap.sparql(year_query))) == before
+        assert store.dictionary is not snap.context.dictionary  # copy-on-write
+        snap.close()
+
+    def test_snapshot_survives_checkpoint(self, tmp_path):
+        store = build_store()
+        store.update(pair_update(1))
+        snap = store.snapshot()
+        left = _count(snap, PAIR_COUNT_LEFT)
+        store.checkpoint(tmp_path / "db")
+        store.update(pair_update(2))
+        assert _count(snap, PAIR_COUNT_LEFT) == left
+        snap.close()
+        with store.snapshot() as fresh:
+            assert _count(fresh, PAIR_COUNT_LEFT) == left + 1
+
+    def test_live_triple_count_is_pinned(self):
+        """The snapshot's count uses the base size captured at pin time —
+        even on stores without the exhaustive indexes."""
+        config = _config()
+        config.build_exhaustive_indexes = False
+        store = RDFStore.build(book_triples(), config=config)
+        base = store.triple_count()
+        with store.snapshot() as snap:
+            assert snap.live_triple_count() == base
+            store.update(pair_update(1))
+            store.compact()
+            assert snap.live_triple_count() == base  # not the compacted base
+        assert store.live_triple_count() == base + 2
+
+    def test_snapshot_sql_matches_sparql_epoch(self):
+        store = build_store()
+        snap = store.snapshot()
+        rows = snap.sql("SELECT isbn_no FROM Book ORDER BY isbn_no")
+        store.update(f'DELETE WHERE {{ <{EX}book/1> ?p ?o . }}')
+        assert len(snap.sql("SELECT isbn_no FROM Book ORDER BY isbn_no")) == len(rows)
+        snap.close()
+
+    def test_closed_snapshot_refuses_queries(self):
+        store = build_store()
+        snap = store.snapshot()
+        snap.close()
+        snap.close()  # idempotent
+        with pytest.raises(StorageError):
+            snap.sparql(AUTHOR_QUERY)
+
+    def test_frozen_delta_is_immutable(self):
+        store = build_store()
+        store.update(pair_update(1))
+        frozen = store.delta.freeze()
+        assert isinstance(frozen, FrozenDelta)
+        assert frozen.insert_count() == store.delta.insert_count()
+        with pytest.raises(StorageError):
+            frozen.insert(1, 2, 3, in_base=False)
+        with pytest.raises(StorageError):
+            frozen.delete(1, 2, 3, in_base=True)
+        with pytest.raises(StorageError):
+            frozen.clear()
+
+    def test_snapshots_of_one_version_share_a_plan_cache(self):
+        """Concurrent readers at the same version amortize parse + plan; a
+        write rotates the cache so stale plans never cross versions."""
+        store = build_store()
+        with store.snapshot() as a, store.snapshot() as b:
+            a.sparql(AUTHOR_QUERY)
+            b.sparql(AUTHOR_QUERY)  # same version: planned once, hit once
+            stats = b._engine.plan_cache.stats()
+            assert stats["hits"] >= 1
+        store.update(pair_update(1))
+        with store.snapshot() as c:
+            c.sparql(AUTHOR_QUERY)  # new version: fresh cache, no stale hit
+            assert c._engine.plan_cache.stats()["hits"] == 0
+
+    def test_open_snapshot_count_tracks_pins(self):
+        store = build_store()
+        assert store.open_snapshot_count() == 0
+        a = store.snapshot()
+        b = store.snapshot()
+        assert store.open_snapshot_count() == 2
+        a.close()
+        b.close()
+        assert store.open_snapshot_count() == 0
+        assert "open_snapshots" not in store.storage_summary()
+
+
+class TestDeferredSegmentReclaim:
+    def test_compact_defers_reclaim_until_snapshot_release(self):
+        """Regression: compacting (or further updates) while a read snapshot
+        is open must not evict the pinned delta version's index pages; they
+        are reclaimed when the last snapshot releases."""
+        store = build_store()
+        store.update(pair_update(1))
+        snap = store.snapshot()
+        prefix = store.delta._segment_prefix(snap.delta_version)
+        before = sorted(snap.decode_rows(snap.sparql(PAIR_COUNT_LEFT)))
+        assert store.pool.segments_cached(prefix) > 0  # the query touched them
+        store.update(pair_update(2))     # supersedes the pinned version
+        store.compact()                  # clears the delta entirely
+        assert store.pool.segments_cached(prefix) > 0, \
+            "pinned delta segments were reclaimed under an open snapshot"
+        assert sorted(snap.decode_rows(snap.sparql(PAIR_COUNT_LEFT))) == before
+        snap.close()
+        assert store.pool.segments_cached(prefix) == 0, \
+            "superseded delta segments must be reclaimed at release"
+
+    def test_unpinned_versions_are_reclaimed_immediately(self):
+        store = build_store()
+        store.update(pair_update(1))
+        version = store.delta.version
+        store.sparql(PAIR_COUNT_LEFT)  # builds the delta index
+        prefix = store.delta._segment_prefix(version)
+        assert store.pool.segments_cached(prefix) > 0
+        store.update(pair_update(2))   # no snapshot open: dropped eagerly
+        assert store.pool.segments_cached(prefix) == 0
+
+    def test_unpin_never_evicts_the_live_current_index(self):
+        """Regression: a release of the current version must not drop pages
+        the live store's own index is actively using — even when an earlier
+        snapshot-only build queued that version for deferred reclaim."""
+        store = build_store()
+        store.update(pair_update(1))
+        version = store.delta.version
+        prefix = store.delta._segment_prefix(version)
+        with store.snapshot() as snap:
+            snap.sparql(PAIR_COUNT_LEFT)   # frozen view builds the index
+        # close queued the version (live index was unbuilt); now the live
+        # store builds and uses the same version's index
+        store.sparql(PAIR_COUNT_LEFT)
+        assert store.pool.segments_cached(prefix) > 0
+        with store.snapshot() as again:
+            again.sparql(PAIR_COUNT_LEFT)
+        assert store.pool.segments_cached(prefix) > 0, \
+            "unpin evicted the live, current delta index"
+        store.update(pair_update(2))       # supersession reclaims them
+        assert store.pool.segments_cached(prefix) == 0
+
+    def test_snapshot_built_index_pages_do_not_leak(self):
+        """Regression: when only the *frozen view* built the delta index
+        (the live store never queried), releasing the snapshot before the
+        version is superseded must not strand its pages in the pool."""
+        store = build_store()
+        store.update(pair_update(1))   # live index stays unbuilt
+        snap = store.snapshot()
+        prefix = store.delta._segment_prefix(snap.delta_version)
+        snap.sparql(PAIR_COUNT_LEFT)   # frozen view builds the index
+        assert store.pool.segments_cached(prefix) > 0
+        snap.close()                   # version still current at release
+        store.update(pair_update(2))   # supersede: queued pages must drop
+        assert store.pool.segments_cached(prefix) == 0
+
+
+# -- the lock ------------------------------------------------------------------------
+
+
+class TestReadWriteLock:
+    def test_write_is_reentrant(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                assert lock.owns_write()
+        assert not lock.owns_write()
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        observed = []
+        lock.acquire_write()
+        blocked = threading.Event()
+
+        def reader():
+            blocked.set()
+            with lock.read_locked():
+                observed.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        blocked.wait(timeout=5)
+        time.sleep(0.05)
+        assert observed == []  # reader is waiting
+        lock.release_write()
+        thread.join(timeout=5)
+        assert observed == ["read"]
+
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert lock.active_readers == 0
+
+    def test_write_lock_passes_through_read(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.read_locked():  # must not deadlock
+                assert lock.owns_write()
+
+    def test_phase_fairness_neither_side_starves(self):
+        """A writer re-acquiring back-to-back must not starve readers, and a
+        stream of overlapping readers must not starve the writer."""
+        lock = ReadWriteLock()
+        stop = threading.Event()
+        progress = {"reads": 0, "writes": 0}
+
+        def reader():
+            while not stop.is_set():
+                with lock.read_locked():
+                    progress["reads"] += 1
+
+        def writer():
+            while not stop.is_set():
+                with lock.write_locked():
+                    progress["writes"] += 1
+
+        threads = ([threading.Thread(target=reader) for _ in range(4)]
+                   + [threading.Thread(target=writer)])
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert progress["reads"] > 50, progress
+        assert progress["writes"] > 50, progress
+
+
+# -- stress: N readers + 1 writer ----------------------------------------------------
+
+
+def _run_stress(store: RDFStore, writer, readers: int = READERS,
+                duration: float = 2.0):
+    """Run ``writer`` against ``readers`` snapshot-pinning reader threads.
+
+    Returns the list of reader-observed errors (must be empty).
+    """
+    errors: list = []
+    stop = threading.Event()
+
+    def read_loop():
+        try:
+            while not stop.is_set():
+                with store.snapshot() as snap:
+                    left = _count(snap, PAIR_COUNT_LEFT)
+                    right = _count(snap, PAIR_COUNT_RIGHT)
+                    if left != right:
+                        errors.append(f"torn read: {left} lefts vs {right} rights")
+                    # repeatable read inside one snapshot
+                    if _count(snap, PAIR_COUNT_LEFT) != left:
+                        errors.append("snapshot result changed between reads")
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=read_loop, name=f"reader-{i}")
+               for i in range(readers)]
+    for thread in threads:
+        thread.start()
+    try:
+        writer(stop)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    assert not any(thread.is_alive() for thread in threads)
+    return errors
+
+
+class TestStress:
+    def test_readers_never_observe_torn_updates(self):
+        store = build_store()
+        applied = []
+
+        def writer(stop):
+            for i in range(WRITER_REQUESTS):
+                text = pair_update(i)
+                store.update(text)
+                applied.append(text)
+                if i % 20 == 19:
+                    store.compact()
+
+        errors = _run_stress(store, writer)
+        assert errors == []
+        # final-state equivalence with serial replay on a fresh store
+        serial = build_store()
+        for text in applied:
+            serial.update(text)
+        with store.snapshot() as got, serial.snapshot() as want:
+            assert _count(got, PAIR_COUNT_LEFT) == _count(want, PAIR_COUNT_LEFT) \
+                == WRITER_REQUESTS
+            assert (sorted(got.decode_rows(got.sparql(AUTHOR_QUERY)))
+                    == sorted(want.decode_rows(want.sparql(AUTHOR_QUERY))))
+
+    def test_readers_with_checkpointing_writer(self, tmp_path):
+        store = build_store()
+        db = tmp_path / "db"
+
+        def writer(stop):
+            for i in range(WRITER_REQUESTS // 2):
+                store.update(pair_update(i))
+                if i % 10 == 9:
+                    store.checkpoint(db)
+
+        errors = _run_stress(store, writer)
+        assert errors == []
+        reopened = RDFStore.open(db)
+        with reopened.snapshot() as snap:
+            # every request acknowledged before the last checkpoint (plus the
+            # WAL tail) is present and un-torn after recovery
+            assert _count(snap, PAIR_COUNT_LEFT) == _count(snap, PAIR_COUNT_RIGHT)
+
+    def test_query_server_mixed_workload(self):
+        store = build_store()
+        with QueryServer(store, workers=READERS) as server:
+            futures = []
+            for i in range(WRITER_REQUESTS // 2):
+                futures.append(server.submit_update(pair_update(i)))
+                futures.append(server.submit_query(PAIR_COUNT_LEFT))
+                futures.append(server.submit_sql(
+                    "SELECT isbn_no FROM Book ORDER BY isbn_no"))
+            results = [future.result(timeout=60) for future in futures]
+        assert len(results) == 3 * (WRITER_REQUESTS // 2)
+        inserted = sum(result.inserted for result in results[::3])
+        assert inserted == 2 * (WRITER_REQUESTS // 2)
+        with store.snapshot() as snap:
+            assert _count(snap, PAIR_COUNT_LEFT) == WRITER_REQUESTS // 2
+
+    def test_service_decodes_under_concurrent_compaction(self):
+        """decode=True must decode under the same snapshot the query ran on,
+        even while the writer compacts (which re-maps literal OIDs)."""
+        store = build_store()
+        service = StoreService(store)
+        errors: list = []
+        stop = threading.Event()
+        query = f"SELECT ?v WHERE {{ ?s <{PAIR_LEFT}> ?v . }}"
+
+        def read_loop():
+            try:
+                while not stop.is_set():
+                    rows = service.query(query, decode=True)
+                    for (value,) in rows:
+                        if not (isinstance(value, str) and value.startswith("L")):
+                            errors.append(f"mis-decoded value {value!r}")
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=read_loop) for _ in range(READERS)]
+        for thread in threads:
+            thread.start()
+        try:
+            for i in range(30):
+                service.update(pair_update(i))
+                if i % 5 == 4:
+                    service.compact()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert errors == []
+        assert service.stats()["open_snapshots"] == 0
+
+
+class TestSessions:
+    def test_sticky_session_repeatable_reads(self):
+        store = build_store()
+        with store.session() as session:
+            session.begin()
+            first = session.sparql(AUTHOR_QUERY, decode=True)
+            session.update(pair_update(1))
+            assert session.sparql(AUTHOR_QUERY, decode=True) == first
+            session.end()
+            session.begin()
+            assert session.snapshot is not None
+        # context-manager exit released the sticky snapshot
+        assert store.open_snapshot_count() == 0
+
+    def test_auto_session_sees_latest(self):
+        store = build_store()
+        session = store.session()
+        rows = session.sparql(PAIR_COUNT_LEFT).rows()
+        before = int(rows[0][0]) if rows else 0
+        session.update(pair_update(9))
+        after = int(session.sparql(PAIR_COUNT_LEFT).rows()[0][0])
+        assert after == before + 1
+
+    def test_double_begin_rejected(self):
+        store = build_store()
+        session = store.session()
+        session.begin()
+        with pytest.raises(StorageError):
+            session.begin()
+        session.end()
