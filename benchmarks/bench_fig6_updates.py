@@ -112,6 +112,52 @@ def test_post_update_query_latency(report_lines):
         f"({rows_after - rows_before} extra rows)")
 
 
+def test_batched_vs_row_merged_scan(report_lines):
+    """The batch executor must also win on the MergeScan (delta) path.
+
+    With pending deltas in play every scan folds ``base ∪ delta −
+    tombstones``; the paper-star FK-hop query (probe work per batch, over
+    the merged access path) runs hot at ``batch_size=1024`` vs ``1``
+    (median of 3).  Full mode demands the 5x batched win on this
+    scan-heavy plan too; smoke mode only forbids a regression.
+    """
+    import statistics
+
+    fk_hop_query = (
+        f"SELECT ?p ?t ?cn WHERE {{ ?p <{P_TITLE}> ?t . ?p <{P_PART_OF}> ?c . "
+        f"?p <{P_CREATOR}> ?a . ?c <{P_TITLE}> ?cn . }}"
+    )
+    store = _build_store()
+    for batch in range(INSERT_BATCHES):
+        store.update(_insert_batch(batch))
+    store.update(f"DELETE WHERE {{ <{DBLP}inproc/0> ?p ?o . }}")
+    assert store.has_pending_updates()
+    saved = store.config.batch_size
+
+    def median_seconds(size):
+        store.config.batch_size = size
+        runs = []
+        for _ in range(3):
+            started = time.perf_counter()
+            result = store.sparql(fk_hop_query)
+            runs.append(time.perf_counter() - started)
+        return statistics.median(runs), sorted(result.rows())
+
+    try:
+        batched, batched_rows = median_seconds(1024)
+        row_mode, row_rows = median_seconds(1)
+    finally:
+        store.config.batch_size = saved
+    assert batched_rows == row_rows
+    speedup = row_mode / max(batched, 1e-9)
+    report_lines.append(
+        f"merged scan batched vs row-at-a-time: {batched * 1e3:.2f} ms vs "
+        f"{row_mode * 1e3:.2f} ms ({speedup:.1f}x, median of 3, "
+        f"{store.delta.insert_count()} pending inserts)")
+    assert speedup >= (1.0 if SMOKE else 5.0), \
+        f"batched merged scan only {speedup:.2f}x vs row-at-a-time"
+
+
 def test_compaction_cost_and_recovery(report_lines, results_dir):
     store = _build_store()
     for batch in range(INSERT_BATCHES):

@@ -44,6 +44,7 @@ the keys the request touched, never to the number of pending writes
 from __future__ import annotations
 
 import copy
+import os
 
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -95,6 +96,11 @@ class StoreConfig:
             cost-based optimizer to price candidate plans.
         plan_cache_size: entries kept in the LRU plan cache (0 disables
             caching).
+        batch_size: rows per batch flowing between physical operators.
+            Size 1 degenerates to row-at-a-time execution (kept as a
+            differential-testing oracle); the default comes from the
+            ``REPRO_BATCH_SIZE`` environment variable, falling back to
+            1024.  A runtime tuning knob, not part of the on-disk layout.
     """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -105,6 +111,8 @@ class StoreConfig:
     build_zone_maps: bool = True
     cost_model: CostModel = field(default_factory=CostModel)
     plan_cache_size: int = 128
+    batch_size: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_BATCH_SIZE", "1024")))
 
     def __post_init__(self) -> None:
         """Validate eagerly so misconfiguration fails at construction, not
@@ -122,6 +130,9 @@ class StoreConfig:
             raise StorageError(
                 f"plan_cache_size must be a non-negative integer (0 disables caching), "
                 f"got {self.plan_cache_size!r}")
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise StorageError(
+                f"batch_size must be a positive integer, got {self.batch_size!r}")
 
 
 @dataclass(frozen=True)
@@ -439,7 +450,11 @@ class RDFStore:
                 schema=self.schema,
                 cost_model=self.config.cost_model,
                 delta=self.delta,
+                batch_size=self.config.batch_size,
             )
+        # batch_size is a live runtime knob: the context is cached, so pick
+        # up config changes here (snapshots still capture it at pin time)
+        self._context.batch_size = self.config.batch_size
         return self._context
 
     # -- cache control ------------------------------------------------------------------

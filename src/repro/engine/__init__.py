@@ -1,7 +1,16 @@
-"""Query engine: binding tables, physical operators, RDFscan/RDFjoin and the
-executor."""
+"""Query engine: binding tables, batches, physical operators,
+RDFscan/RDFjoin and the executor."""
 
-from .bindings import BindingTable, cross_join, hash_join
+from . import kernels
+from .bindings import (
+    Batch,
+    BatchEmitter,
+    BindingTable,
+    concat_tables,
+    cross_join,
+    hash_join,
+    join_tables,
+)
 from .context import ExecutionContext
 from .executor import execute_plan, explain_plan
 from .expressions import AggregateSpec, BinaryOp, Expression, NumericConst, NumericVar
@@ -38,6 +47,8 @@ from .values import ValueDecoder, ValueEncoder
 __all__ = [
     "AggregateOp",
     "AggregateSpec",
+    "Batch",
+    "BatchEmitter",
     "BinaryOp",
     "BindingTable",
     "DistinctOp",
@@ -65,10 +76,13 @@ __all__ = [
     "TriplePatternPlan",
     "ValueDecoder",
     "ValueEncoder",
+    "concat_tables",
     "cross_join",
     "execute_plan",
     "explain_plan",
     "fk_range_from_zonemap",
     "hash_join",
+    "join_tables",
+    "kernels",
     "subject_range_for_property_range",
 ]

@@ -9,11 +9,12 @@ column store passes BATs between operators rather than row tuples.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..errors import ExecutionError
+from . import kernels
 
 
 class BindingTable:
@@ -145,6 +146,10 @@ class BindingTable:
         """Return the first ``limit`` rows."""
         return self.select_rows(np.arange(min(limit, self.num_rows)))
 
+    def slice(self, start: int, stop: int) -> "BindingTable":
+        """Return rows ``[start, stop)`` as NumPy views (no copies)."""
+        return BindingTable({name: values[start:stop] for name, values in self.columns.items()})
+
     # -- output -------------------------------------------------------------------
 
     def iter_rows(self) -> Iterator[Dict[str, object]]:
@@ -181,8 +186,35 @@ def cross_join(left: BindingTable, right: BindingTable) -> BindingTable:
     return BindingTable(columns)
 
 
+def join_tables(build: BindingTable, probe: BindingTable,
+                join_vars: Sequence[str]) -> BindingTable:
+    """Equi-join with fixed build/probe roles (vectorized).
+
+    The output is probe-major with build rows in input order inside one probe
+    row, so a streaming join that feeds probe batches through this function
+    produces the same row order regardless of how the probe side is batched.
+    """
+    if not join_vars:
+        return cross_join(probe, build)
+    build_idx, probe_idx = kernels.hash_join_indices(
+        [build.column(name) for name in join_vars],
+        [probe.column(name) for name in join_vars])
+    build_sel = build.select_rows(build_idx)
+    probe_sel = probe.select_rows(probe_idx)
+    columns = dict(build_sel.columns)
+    for name, values in probe_sel.columns.items():
+        if name not in columns:
+            columns[name] = values
+    return BindingTable(columns)
+
+
 def hash_join(left: BindingTable, right: BindingTable, join_vars: Sequence[str]) -> BindingTable:
-    """Equi-join two binding tables on shared variables (hash based)."""
+    """Equi-join two binding tables on shared variables (hash based).
+
+    Builds on the smaller side; the row loops of the original implementation
+    are replaced by the vectorized :func:`~repro.engine.kernels.hash_join_indices`
+    kernel, preserving the original output order (probe-major).
+    """
     if not join_vars:
         return cross_join(left, right)
     for name in join_vars:
@@ -190,24 +222,97 @@ def hash_join(left: BindingTable, right: BindingTable, join_vars: Sequence[str])
         right.column(name)
     # build on the smaller side
     build, probe = (left, right) if left.num_rows <= right.num_rows else (right, left)
-    build_keys: Dict[tuple, List[int]] = {}
-    build_arrays = [build.column(name) for name in join_vars]
-    for i in range(build.num_rows):
-        key = tuple(int(array[i]) for array in build_arrays)
-        build_keys.setdefault(key, []).append(i)
-    probe_arrays = [probe.column(name) for name in join_vars]
-    build_rows: List[int] = []
-    probe_rows: List[int] = []
-    for j in range(probe.num_rows):
-        key = tuple(int(array[j]) for array in probe_arrays)
-        matches = build_keys.get(key)
-        if matches:
-            build_rows.extend(matches)
-            probe_rows.extend([j] * len(matches))
-    build_sel = build.select_rows(np.asarray(build_rows, dtype=np.int64))
-    probe_sel = probe.select_rows(np.asarray(probe_rows, dtype=np.int64))
-    columns = dict(build_sel.columns)
-    for name, values in probe_sel.columns.items():
-        if name not in columns:
-            columns[name] = values
-    return BindingTable(columns)
+    return join_tables(build, probe, join_vars)
+
+
+def concat_tables(tables: Sequence[BindingTable]) -> BindingTable:
+    """Single-pass vertical union of many tables with identical variables.
+
+    Unlike chained :meth:`BindingTable.concat` this copies every column once,
+    which keeps draining a size-1 batch stream linear instead of quadratic.
+    """
+    live = [table for table in tables if table.num_rows]
+    if not live:
+        return tables[0] if tables else BindingTable.empty()
+    if len(live) == 1:
+        return live[0]
+    names = live[0].variables
+    return BindingTable({
+        name: np.concatenate([table.column(name) for table in live])
+        for name in names
+    })
+
+
+class Batch:
+    """One slice of a binding stream: a table plus an optional validity mask.
+
+    ``valid`` marks live rows; ``None`` means all rows are live.  Filters AND
+    their predicate into the mask instead of copying survivors, so a chain of
+    filters over one batch touches each column once at :meth:`compact` time.
+    """
+
+    __slots__ = ("table", "valid")
+
+    def __init__(self, table: BindingTable, valid: Optional[np.ndarray] = None) -> None:
+        self.table = table
+        if valid is not None:
+            valid = np.asarray(valid, dtype=bool)
+            if len(valid) != table.num_rows:
+                raise ExecutionError(
+                    f"validity mask has {len(valid)} rows, batch has {table.num_rows}")
+            if valid.all():
+                valid = None
+        self.valid = valid
+
+    @property
+    def variables(self) -> List[str]:
+        return self.table.variables
+
+    def live_count(self) -> int:
+        """Number of valid rows in the batch."""
+        if self.valid is None:
+            return self.table.num_rows
+        return int(np.count_nonzero(self.valid))
+
+    def mask_valid(self, mask: np.ndarray) -> "Batch":
+        """AND an additional predicate mask into the batch (no row copies)."""
+        combined = mask if self.valid is None else (self.valid & mask)
+        return Batch(self.table, combined)
+
+    def compact(self) -> BindingTable:
+        """Materialize the live rows as a plain binding table."""
+        if self.valid is None:
+            return self.table
+        return self.table.filter_mask(self.valid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Batch(vars={self.variables}, rows={self.table.num_rows}, live={self.live_count()})"
+
+
+class BatchEmitter:
+    """Emit a materialized table as a sequence of batch-sized slices.
+
+    Blocking operators (scans, sorts, aggregates) compute their full output
+    in ``_open`` and stream it out through one of these.  At least one batch
+    is always emitted — an empty result still yields one schema-complete
+    empty batch, which downstream operators rely on to learn their input
+    variables.
+    """
+
+    def __init__(self, table: BindingTable) -> None:
+        self.table = table
+        self._offset = 0
+        self._emitted = False
+
+    def next(self, batch_size: int) -> Optional[Batch]:
+        total = self.table.num_rows
+        if self._offset >= total:
+            if self._emitted:
+                return None
+            self._emitted = True
+            return Batch(self.table.slice(0, 0))
+        start = self._offset
+        stop = min(total, start + batch_size)
+        self._offset = stop
+        self._emitted = True
+        return Batch(self.table.slice(start, stop))

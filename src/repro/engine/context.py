@@ -33,6 +33,10 @@ class ExecutionContext:
     """Pending-write overlay (a :class:`repro.updates.DeltaStore`), duck-typed
     so the engine layer stays import-free of the updates package.  Scans merge
     ``base ∪ delta − tombstones`` whenever a non-empty delta is attached."""
+    batch_size: int = 1024
+    """Rows per batch flowing between operators (from
+    :attr:`repro.core.StoreConfig.batch_size`).  Size 1 degenerates to
+    row-at-a-time execution; both sizes must produce identical answers."""
     encoder: ValueEncoder = field(init=False)
     decoder: ValueDecoder = field(init=False)
 

@@ -19,6 +19,8 @@ from typing import Optional
 
 import numpy as np
 
+from .kernels import expand_ranges
+
 
 def merge_pattern_rows(delta, rows: np.ndarray,
                        s: Optional[int], p: Optional[int], o: Optional[int]) -> np.ndarray:
@@ -77,10 +79,7 @@ def merged_subject_objects(delta, predicate: int, subjects: np.ndarray
     delta_subjects, delta_objects = delta_subjects[order], delta_objects[order]
     lo = np.searchsorted(delta_subjects, subjects, side="left")
     hi = np.searchsorted(delta_subjects, subjects, side="right")
-    counts = hi - lo
-    input_rows = np.repeat(np.arange(subjects.size, dtype=np.int64), counts)
+    input_rows, positions = expand_ranges(lo, hi)
     if input_rows.size == 0:
         return input_rows, np.empty(0, dtype=np.int64)
-    positions = np.concatenate([np.arange(l, h, dtype=np.int64)
-                                for l, h in zip(lo, hi) if h > l])
     return input_rows, delta_objects[positions]

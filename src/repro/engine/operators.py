@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import ExecutionError
-from .bindings import BindingTable, hash_join
+from . import kernels
+from .bindings import Batch, BatchEmitter, BindingTable, join_tables
 from .context import ExecutionContext
 from .expressions import AggregateSpec, Expression
 from .mergescan import merge_pattern_rows, merged_subject_objects
@@ -47,7 +48,7 @@ class IndexScanOp(PhysicalOperator):
             parts.append(f"subj{self.subject_range.describe()}")
         return " ".join(parts)
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
         store = context.require_index_store()
         s, p, o = self.pattern.subject, self.pattern.predicate, self.pattern.object
@@ -89,7 +90,13 @@ class IndexScanOp(PhysicalOperator):
                 p=None if p.is_variable else p.oid,
                 o=None if o.is_variable else o.oid,
             )
-        return self._bind(rows, context)
+        self._emitter = BatchEmitter(self._bind(rows, context))
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        return self._emitter.next(context.batch_size)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self._emitter = None
 
     def _filter_constant_slots(self, rows: np.ndarray) -> np.ndarray:
         """Re-apply constant S/O slots that a fast-path range scan did not cover."""
@@ -178,15 +185,29 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
     def describe(self) -> str:
         return f"NestedLoopIndexJoin[{self.pattern.describe()}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
-        input_table = self.child.execute(context)
+        store = context.require_index_store()
+        self._index = store.table("pso") if "pso" in store.tables \
+            else store.table(store.best_order("sp"))
+        self._prefix = self._index.prefix_row_range(self.pattern.predicate.oid)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        return Batch(self._probe(batch.compact(), context))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
+        self._index = None
+
+    def _probe(self, input_table: BindingTable, context: ExecutionContext) -> BindingTable:
         subject_var = self.pattern.subject.var
         if not input_table.has(subject_var):
             raise ExecutionError(f"join variable ?{subject_var} not produced by child operator")
-        store = context.require_index_store()
-        table = store.table("pso") if "pso" in store.tables else store.table(store.best_order("sp"))
 
         subjects = input_table.column(subject_var)
         if subjects.size == 0:
@@ -195,9 +216,9 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
                 out_vars.append(self.pattern.object.var)
             return BindingTable.empty(out_vars)
 
-        lo_row, hi_row = table.prefix_row_range(self.pattern.predicate.oid)
-        s_column = table.column("s")
-        o_column = table.column("o")
+        lo_row, hi_row = self._prefix
+        s_column = self._index.column("s")
+        o_column = self._index.column("o")
         segment_subjects = s_column.data[lo_row:hi_row]
 
         # one probe per input row (vectorized, but accounted per probe)
@@ -205,14 +226,8 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
         right_positions = np.searchsorted(segment_subjects, subjects, side="right")
         context.tracker.tuples_probed += int(subjects.size) * 2
 
-        input_rows: List[int] = []
-        matched_positions: List[int] = []
-        for row_idx, (lo, hi) in enumerate(zip(left_positions, right_positions)):
-            for position in range(int(lo), int(hi)):
-                input_rows.append(row_idx)
-                matched_positions.append(lo_row + position)
-        matched = np.asarray(matched_positions, dtype=np.int64)
-        input_rows_arr = np.asarray(input_rows, dtype=np.int64)
+        input_rows_arr, offsets = kernels.expand_ranges(left_positions, right_positions)
+        matched = offsets + lo_row
 
         # page accounting: the probes hit the s and o columns at scattered positions
         objects = o_column.gather(matched) if matched.size else np.empty(0, dtype=np.int64)
@@ -232,6 +247,10 @@ class NestedLoopIndexJoinOp(PhysicalOperator):
             if delta_rows.size:
                 input_rows_arr = np.concatenate([input_rows_arr, delta_rows])
                 objects = np.concatenate([objects, delta_objects])
+                # keep the output order independent of the batch size: group
+                # base and delta matches per input row, in input-row order
+                order = np.argsort(input_rows_arr, kind="stable")
+                input_rows_arr, objects = input_rows_arr[order], objects[order]
 
         result = input_table.select_rows(input_rows_arr)
         obj_term = self.pattern.object
@@ -264,16 +283,28 @@ class HashJoinOp(PhysicalOperator):
         on = ", ".join(self.join_vars) if self.join_vars else "<auto>"
         return f"HashJoin[on {on}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
-        left = self.left.execute(context)
-        right = self.right.execute(context)
+        # drain the left child as the build side, stream the right as probe
+        self._build = self.left.execute(context)
+        context.tracker.tuples_probed += self._build.num_rows
+        self.right.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.right.next_batch(context)
+        if batch is None:
+            return None
+        probe = batch.compact()
         join_vars = self.join_vars
         if join_vars is None:
-            join_vars = sorted(set(left.variables) & set(right.variables))
-        context.tracker.tuples_probed += left.num_rows + right.num_rows
-        return hash_join(left, right, join_vars)
+            join_vars = sorted(set(self._build.variables) & set(probe.variables))
+        context.tracker.tuples_probed += probe.num_rows
+        return Batch(join_tables(self._build, probe, join_vars))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.right.close(context)
+        self._build = None
 
 
 class FilterRangeOp(PhysicalOperator):
@@ -290,12 +321,20 @@ class FilterRangeOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterRange[?{self.var} in {self.oid_range.describe()}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
-        values = table.column(self.var)
-        context.tracker.tuples_scanned += int(len(values))
-        return table.filter_mask(self.oid_range.mask(values))
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        values = batch.table.column(self.var)
+        context.tracker.tuples_scanned += batch.live_count()
+        return batch.mask_valid(self.oid_range.mask(values))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class FilterEqualOp(PhysicalOperator):
@@ -312,12 +351,20 @@ class FilterEqualOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterEqual[?{self.var} == #{self.oid}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
-        values = table.column(self.var)
-        context.tracker.tuples_scanned += int(len(values))
-        return table.filter_mask(values == self.oid)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        values = batch.table.column(self.var)
+        context.tracker.tuples_scanned += batch.live_count()
+        return batch.mask_valid(kernels.eq_mask(values, self.oid))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class FilterNotEqualOp(PhysicalOperator):
@@ -334,12 +381,20 @@ class FilterNotEqualOp(PhysicalOperator):
     def describe(self) -> str:
         return f"FilterNotEqual[?{self.var} != #{self.oid}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
-        values = table.column(self.var)
-        context.tracker.tuples_scanned += int(len(values))
-        return table.filter_mask(values != self.oid)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        values = batch.table.column(self.var)
+        context.tracker.tuples_scanned += batch.live_count()
+        return batch.mask_valid(kernels.neq_mask(values, self.oid))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class ProjectOp(PhysicalOperator):
@@ -355,13 +410,26 @@ class ProjectOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Project[{', '.join('?' + v for v in self.variables)}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        return self.child.execute(context).project(self.variables)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        return Batch(batch.table.project(self.variables), batch.valid)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class DistinctOp(PhysicalOperator):
-    """Remove duplicate rows."""
+    """Remove duplicate rows (streaming, first occurrence wins).
+
+    Dedup state spans batches, so duplicates straddling a batch boundary are
+    still dropped exactly once.
+    """
 
     def __init__(self, child: PhysicalOperator) -> None:
         self.child = child
@@ -369,9 +437,25 @@ class DistinctOp(PhysicalOperator):
     def children(self) -> Sequence[PhysicalOperator]:
         return (self.child,)
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        return self.child.execute(context).distinct()
+        self._distinct = kernels.StreamingDistinct()
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        table = batch.compact()
+        if table.num_rows == 0 or not table.columns:
+            return Batch(table)
+        keep = self._distinct.keep_indices(
+            [table.column(name) for name in sorted(table.columns)])
+        return Batch(table.select_rows(keep))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
+        self._distinct = None
 
 
 class OrderByOp(PhysicalOperator):
@@ -396,9 +480,18 @@ class OrderByOp(PhysicalOperator):
         rendered = ", ".join(f"?{name}{' desc' if desc else ''}" for name, desc in self.keys)
         return f"OrderBy[{rendered}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
+        table = self.child.execute(context)  # blocking: a sort needs all rows
+        self._emitter = BatchEmitter(self._sorted(table, context))
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        return self._emitter.next(context.batch_size)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self._emitter = None
+
+    def _sorted(self, table: BindingTable, context: ExecutionContext) -> BindingTable:
         watermark = context.dictionary.value_order_watermark
         if len(context.dictionary) <= watermark:
             return table.sort_by(self.keys)
@@ -428,9 +521,29 @@ class LimitOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Limit[{self.limit}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        return self.child.execute(context).head(self.limit)
+        self._remaining = self.limit
+        self._emitted = False
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        # early termination: once the limit is reached the child is no longer
+        # pulled (it still gets closed through _close)
+        if self._remaining <= 0 and self._emitted:
+            return None
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        table = batch.compact()
+        if table.num_rows > self._remaining:
+            table = table.head(self._remaining)
+        self._remaining -= table.num_rows
+        self._emitted = True
+        return Batch(table)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class ExtendOp(PhysicalOperator):
@@ -447,11 +560,20 @@ class ExtendOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Extend[?{self.alias} = {self.expression.describe()}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        table = batch.compact()  # evaluate expressions on live rows only
         values = self.expression.evaluate(table, context.decoder)
-        return table.with_column(self.alias, values)
+        return Batch(table.with_column(self.alias, values))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 class AggregateOp(PhysicalOperator):
@@ -471,9 +593,18 @@ class AggregateOp(PhysicalOperator):
         aggs = ", ".join(spec.describe() for spec in self.aggregates)
         return f"Aggregate[by {groups}: {aggs}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        table = self.child.execute(context)
+        table = self.child.execute(context)  # blocking: aggregation needs all rows
+        self._emitter = BatchEmitter(self._aggregate(table, context))
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        return self._emitter.next(context.batch_size)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self._emitter = None
+
+    def _aggregate(self, table: BindingTable, context: ExecutionContext) -> BindingTable:
         evaluated = {spec.alias: spec.expression.evaluate(table, context.decoder)
                      for spec in self.aggregates}
 
@@ -483,21 +614,13 @@ class AggregateOp(PhysicalOperator):
             return BindingTable(columns)
 
         group_arrays = [table.column(name) for name in self.group_vars]
-        groups: dict[tuple, List[int]] = {}
-        for row in range(table.num_rows):
-            key = tuple(int(array[row]) for array in group_arrays)
-            groups.setdefault(key, []).append(row)
-
-        keys = list(groups)
+        representatives, group_ids = kernels.group_rows(group_arrays)
         out_columns: dict[str, np.ndarray] = {}
-        for idx, name in enumerate(self.group_vars):
-            out_columns[name] = np.asarray([key[idx] for key in keys], dtype=np.int64)
+        for name, values in zip(self.group_vars, group_arrays):
+            out_columns[name] = values[representatives].astype(np.int64, copy=False)
         for spec in self.aggregates:
-            values = evaluated[spec.alias]
-            out_columns[spec.alias] = np.asarray(
-                [spec.compute(values[np.asarray(rows, dtype=np.int64)]) for rows in groups.values()],
-                dtype=np.float64,
-            )
+            out_columns[spec.alias] = kernels.grouped_aggregate(
+                spec.func, group_ids, representatives.size, evaluated[spec.alias])
         context.tracker.tuples_scanned += table.num_rows
         return BindingTable(out_columns)
 
@@ -513,9 +636,15 @@ class MaterializedOp(PhysicalOperator):
     def describe(self) -> str:
         return f"Materialized[{self.label}: {self.table.num_rows} rows]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
-        return self.table
+        self._emitter = BatchEmitter(self.table)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        return self._emitter.next(context.batch_size)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self._emitter = None
 
 
 # -- helpers --------------------------------------------------------------------------

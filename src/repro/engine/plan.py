@@ -9,13 +9,16 @@ RDFscan/RDFjoin scheme evaluates the whole star in one operator.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..errors import PlanError
-from .bindings import BindingTable
+from . import kernels
+from .bindings import Batch, BatchEmitter, BindingTable, concat_tables
 
 
 @dataclass(frozen=True)
@@ -100,14 +103,8 @@ class OidRange:
 
     def mask(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`contains` over a NumPy OID array."""
-        mask = np.ones(len(values), dtype=bool)
-        if self.low is not None:
-            mask &= values >= self.low
-        if self.high is not None:
-            mask &= values <= self.high
-        if self.extra_oids:
-            mask |= np.isin(values, np.asarray(sorted(self.extra_oids), dtype=np.int64))
-        return mask
+        extras = np.asarray(sorted(self.extra_oids), dtype=np.int64) if self.extra_oids else None
+        return kernels.range_mask(values, self.low, self.high, extras)
 
     def describe(self) -> str:
         text = f"[{self.low if self.low is not None else '-inf'}, {self.high if self.high is not None else '+inf'}]"
@@ -184,14 +181,29 @@ class StarPattern:
         return f"star(?{self.subject_var}: {inner}){suffix}"
 
 
+_EXEC_LOCK_GUARD = threading.Lock()
+
+
 class PhysicalOperator:
     """Base class of every physical operator.
 
-    Subclasses implement :meth:`_execute`; the public :meth:`execute`
-    template wraps it to record the operator's *actual* output cardinality,
-    so a plan that has run once can show estimated vs. actual row counts in
-    :meth:`explain` (the ``EXPLAIN ANALYZE`` of this engine).  The optimizer
-    annotates :attr:`estimated_rows` at planning time.
+    Execution is batched (Volcano-style, but a column batch at a time):
+    :meth:`open` prepares the operator, :meth:`next_batch` yields
+    :class:`~repro.engine.bindings.Batch` objects until ``None``, and
+    :meth:`close` tears down.  Subclasses implement ``_open`` /
+    ``_next_batch`` / ``_close``; operators that predate the batch protocol
+    may instead implement the legacy ``_execute`` (full materialization) and
+    inherit a default ``_open``/``_next_batch`` that slices its result into
+    batches.  Every stream emits at least one (possibly empty) batch, so
+    downstream operators always learn their input schema.
+
+    The public :meth:`execute` drains the whole stream into one binding
+    table — the entry point :func:`~repro.engine.executor.execute_plan`
+    uses, and what nested blocking operators call on their children.  The
+    base class records each operator's *actual* output cardinality (rows,
+    never batches), so a plan that has run once shows estimated vs. actual
+    row counts in :meth:`explain` (the ``EXPLAIN ANALYZE`` of this engine).
+    The optimizer annotates :attr:`estimated_rows` at planning time.
     """
 
     estimated_rows: Optional[float] = None
@@ -199,11 +211,65 @@ class PhysicalOperator:
     actual_rows: Optional[int] = None
     """Output rows observed by the last execution (``None`` before any run)."""
 
+    # -- batched execution protocol ----------------------------------------------
+
+    def open(self, context) -> None:
+        """Prepare the operator for a new run (resets row accounting)."""
+        self._rows_emitted = 0
+        self._open(context)
+
+    def next_batch(self, context) -> Optional[Batch]:
+        """The next output batch, or ``None`` when the stream is exhausted."""
+        batch = self._next_batch(context)
+        if batch is not None:
+            self._rows_emitted += batch.live_count()
+        return batch
+
+    def close(self, context) -> None:
+        """Release per-run state and publish the observed cardinality."""
+        self._close(context)
+        self.actual_rows = int(getattr(self, "_rows_emitted", 0))
+
+    def _open(self, context) -> None:
+        # legacy fallback: operators that only implement _execute() are
+        # materialized once and their result is sliced into batches
+        self._fallback_emitter = BatchEmitter(self._execute(context))
+
+    def _next_batch(self, context) -> Optional[Batch]:
+        emitter = getattr(self, "_fallback_emitter", None)
+        if emitter is None:
+            return None
+        return emitter.next(context.batch_size)
+
+    def _close(self, context) -> None:
+        self.__dict__.pop("_fallback_emitter", None)
+
     def execute(self, context) -> BindingTable:
-        """Run the operator and record its actual output cardinality."""
-        table = self._execute(context)
-        self.actual_rows = int(table.num_rows)
-        return table
+        """Run the operator to completion and return all live rows.
+
+        Serialized per plan instance: cached plans may be shared between
+        concurrent read snapshots, and the batch protocol keeps per-run
+        state on the operators.
+        """
+        with self._execution_lock():
+            self.open(context)
+            tables: List[BindingTable] = []
+            try:
+                while True:
+                    batch = self.next_batch(context)
+                    if batch is None:
+                        break
+                    tables.append(batch.compact())
+            finally:
+                self.close(context)
+        return concat_tables(tables)
+
+    def _execution_lock(self) -> threading.Lock:
+        lock = self.__dict__.get("_exec_lock")
+        if lock is None:
+            with _EXEC_LOCK_GUARD:
+                lock = self.__dict__.setdefault("_exec_lock", threading.Lock())
+        return lock
 
     def _execute(self, context) -> BindingTable:  # pragma: no cover - interface
         raise NotImplementedError

@@ -31,8 +31,9 @@ from ..columnar import NULL_OID
 from ..errors import ExecutionError
 from ..storage.clustered import CSBlock, ClusteredStore
 from ..storage.triple_table import TripleTable
-from .bindings import BindingTable, hash_join
+from .bindings import Batch, BatchEmitter, BindingTable, join_tables
 from .context import ExecutionContext
+from .kernels import expand_ranges
 from .mergescan import merge_property_pairs
 from .plan import OidRange, PhysicalOperator, StarPattern, StarProperty
 
@@ -55,11 +56,19 @@ class RDFScanOp(PhysicalOperator):
         suffix = f" ({', '.join(flags)})" if flags else ""
         return f"RDFscan[{self.star.describe()}]{suffix}"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
         if context.has_clustered_store() and not self.force_index_path:
-            return _scan_clustered(context, self.star, self.use_zone_maps)
-        return _scan_index_merge(context, self.star, candidate_subjects=None)
+            table = _scan_clustered(context, self.star, self.use_zone_maps)
+        else:
+            table = _scan_index_merge(context, self.star, candidate_subjects=None)
+        self._emitter = BatchEmitter(table)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        return self._emitter.next(context.batch_size)
+
+    def _close(self, context: ExecutionContext) -> None:
+        self._emitter = None
 
 
 class RDFJoinOp(PhysicalOperator):
@@ -78,22 +87,35 @@ class RDFJoinOp(PhysicalOperator):
     def describe(self) -> str:
         return f"RDFjoin[{self.star.describe()}]"
 
-    def _execute(self, context: ExecutionContext) -> BindingTable:
+    def _open(self, context: ExecutionContext) -> None:
         context.tracker.operator_invocations += 1
         context.tracker.join_operations += 1
-        input_table = self.child.execute(context)
+        self.child.open(context)
+
+    def _next_batch(self, context: ExecutionContext) -> Optional[Batch]:
+        batch = self.child.next_batch(context)
+        if batch is None:
+            return None
+        input_table = batch.compact()
         subject_var = self.star.subject_var
         if not input_table.has(subject_var):
             raise ExecutionError(f"RDFjoin expects ?{subject_var} from its child operator")
         candidates = np.unique(input_table.column(subject_var))
-        if context.has_clustered_store() and not self.force_index_path:
+        if candidates.size == 0:
+            star_table = BindingTable.empty(self.star.output_variables())
+        elif context.has_clustered_store() and not self.force_index_path:
             star_table = _scan_clustered(context, self.star, self.use_zone_maps,
                                          candidate_subjects=candidates)
         else:
             star_table = _scan_index_merge(context, self.star, candidate_subjects=candidates)
         context.tracker.tuples_probed += int(candidates.size)
         join_vars = sorted(set(input_table.variables) & set(star_table.variables))
-        return hash_join(input_table, star_table, join_vars or [subject_var])
+        # star side builds, input side probes: the output follows the input
+        # row order, so results are identical for every batch size
+        return Batch(join_tables(star_table, input_table, join_vars or [subject_var]))
+
+    def _close(self, context: ExecutionContext) -> None:
+        self.child.close(context)
 
 
 # -- clustered-store evaluation -----------------------------------------------------
@@ -520,24 +542,22 @@ def _merge_property(context: ExecutionContext, table: BindingTable, subject_var:
     current = table.column(subject_var)
     lo = np.searchsorted(subjects, current, side="left")
     hi = np.searchsorted(subjects, current, side="right")
-    counts = hi - lo
     context.tracker.tuples_probed += int(current.size)
 
-    if not prop.required:
-        counts = np.maximum(counts, 1)
-
-    row_indices = np.repeat(np.arange(table.num_rows), counts)
-    positions_parts: List[np.ndarray] = []
-    for l, h, count in zip(lo, hi, hi - lo):
-        if count > 0:
-            positions_parts.append(np.arange(l, h, dtype=np.int64))
-        elif not prop.required:
-            positions_parts.append(np.asarray([-1], dtype=np.int64))
-    positions = np.concatenate(positions_parts) if positions_parts else np.empty(0, dtype=np.int64)
+    if prop.required:
+        row_indices, positions = expand_ranges(lo, hi)
+    else:
+        # rows without a match contribute one placeholder position -1
+        empty = hi <= lo
+        row_indices, positions = expand_ranges(np.where(empty, -1, lo),
+                                               np.where(empty, 0, hi))
 
     result = table.select_rows(row_indices)
     if prop.object_term.is_variable:
-        values = np.where(positions >= 0, objects[np.maximum(positions, 0)], NULL_OID)
+        if objects.size:
+            values = np.where(positions >= 0, objects[np.maximum(positions, 0)], NULL_OID)
+        else:
+            values = np.full(positions.size, NULL_OID, dtype=np.int64)
         var = prop.object_term.var
         if result.has(var):
             mask = result.column(var) == values

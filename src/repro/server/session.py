@@ -177,6 +177,7 @@ class SnapshotRegistry:
             schema=store.schema,
             cost_model=store.config.cost_model,
             delta=frozen,
+            batch_size=store.config.batch_size,
         )
         return ReadSnapshot(store, self, generation=generation,
                             delta_version=version, context=context,

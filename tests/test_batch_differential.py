@@ -1,0 +1,239 @@
+"""Batched-vs-row differential oracle.
+
+The batched executor must be observably identical to row-at-a-time
+execution: every query in the existing corpora (book / DBLP / RDF-H) runs
+under ``batch_size`` 1 (the row-at-a-time oracle), 3 (forces many small
+batches, so duplicates and matches straddle batch boundaries) and 1024
+(the production default), on all four plan schemes — pre- and
+post-compaction, with pending deltas, and under an open MVCC snapshot —
+and the sorted decoded results must match exactly.
+
+The operators are also *order*-invariant across batch sizes (that is what
+makes ``LIMIT`` safe), which a dedicated test pins down with unsorted
+comparisons.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+
+from _datasets import EX, book_triples
+from repro import RDFStore, StoreConfig
+from repro.bench import q1_sparql, q3_sparql, q6_sparql, star_fk_hop_sparql
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.sparql import (
+    DEFAULT_SCHEME,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlannerOptions,
+)
+
+BATCH_SIZES = [1, 3, 1024]
+
+SCHEMES = [
+    PlannerOptions(scheme=DEFAULT_SCHEME),
+    PlannerOptions(scheme=RDFSCAN_SCHEME),
+    PlannerOptions(scheme=OPTIMIZED_SCHEME),
+    PlannerOptions(scheme=RDFSCAN_SCHEME, use_zone_maps=True),
+]
+
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+BOOK_QUERIES = [
+    f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . ?b <{EX}isbn_no> ?i . }}",
+    f"SELECT ?b WHERE {{ ?b <{EX}has_author> <{EX}author/1> . }}",
+    f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . FILTER(?y >= 1998) }}",
+    f"SELECT (COUNT(?b) AS ?c) WHERE {{ ?b <{EX}isbn_no> ?i . }}",
+    f"SELECT DISTINCT ?a WHERE {{ ?b <{EX}has_author> ?a . }}",
+    f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . }} ORDER BY ?y ?b LIMIT 7",
+    f"PREFIX ex: <{EX}> SELECT ?n (COUNT(?b) AS ?c) WHERE {{"
+    f" ?b ex:has_author ?a . ?a ex:name ?n . }} GROUP BY ?n ORDER BY ?n",
+]
+
+DBLP_VOC = "http://example.org/dblp/schema/"
+
+DBLP_QUERIES = [
+    f"""SELECT ?p ?t ?cn WHERE {{
+          ?p <{DBLP_VOC}creator> ?a .
+          ?p <{DBLP_VOC}title> ?t .
+          ?p <{DBLP_VOC}partOf> ?c .
+          ?c <{DBLP_VOC}title> ?cn .
+          ?a <{DBLP_VOC}name> ?n .
+        }}""",
+    f"""SELECT ?p ?t WHERE {{
+          ?p <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <{DBLP_VOC}Inproceedings> .
+          ?p <{DBLP_VOC}title> ?t .
+        }}""",
+]
+
+RDFH_QUERIES = [q6_sparql(), q3_sparql(), q1_sparql(), star_fk_hop_sparql()]
+
+
+def _config() -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)))
+
+
+@contextmanager
+def batch_size(store: RDFStore, size: int):
+    """Temporarily run the store's executor at the given batch size.
+
+    The knob lives on the config and is read into each execution context at
+    query time; cached plans are size-agnostic, so flipping it between runs
+    of the same (cached) plan is exactly the comparison we want.
+    """
+    saved = store.config.batch_size
+    store.config.batch_size = size
+    try:
+        yield store
+    finally:
+        store.config.batch_size = saved
+
+
+def _sorted_decoded(store: RDFStore, text: str, options=None) -> list:
+    rows = store.decode_rows(store.sparql(text, options))
+    return sorted(tuple(str(v) for v in row) for row in rows)
+
+
+def _decoded(store: RDFStore, text: str, options=None) -> list:
+    rows = store.decode_rows(store.sparql(text, options))
+    return [tuple(str(v) for v in row) for row in rows]
+
+
+def assert_batch_sizes_agree(store: RDFStore, queries, schemes=SCHEMES) -> None:
+    for text in queries:
+        for options in schemes:
+            with batch_size(store, 1):
+                expected = _sorted_decoded(store, text, options)
+            for size in BATCH_SIZES[1:]:
+                with batch_size(store, size):
+                    got = _sorted_decoded(store, text, options)
+                assert got == expected, \
+                    (f"batch_size={size} diverged from row-at-a-time on "
+                     f"{options.describe()}: {text!r}")
+
+
+# -- read-only corpora sweeps ----------------------------------------------------------
+
+
+def test_book_corpus_all_schemes_all_batch_sizes(book_store):
+    assert_batch_sizes_agree(book_store, BOOK_QUERIES)
+
+
+def test_dblp_corpus_all_schemes_all_batch_sizes(dblp_store):
+    assert_batch_sizes_agree(dblp_store, DBLP_QUERIES)
+
+
+def test_rdfh_corpus_all_schemes_all_batch_sizes(rdfh_store):
+    assert_batch_sizes_agree(rdfh_store, RDFH_QUERIES)
+
+
+def test_rdfh_parseorder_corpus_batch_sizes(rdfh_parseorder_store):
+    # the un-clustered baseline exercises the index-merge scan path
+    assert_batch_sizes_agree(rdfh_parseorder_store, RDFH_QUERIES[:2])
+
+
+def test_row_order_is_batch_size_invariant(book_store):
+    """Stronger than the sorted oracle: identical *unsorted* row order.
+
+    This is the invariant that makes LIMIT safe — at any batch size the
+    executor must pick the same rows, so the full streams must agree
+    element by element.
+    """
+    for text in BOOK_QUERIES:
+        for options in SCHEMES:
+            with batch_size(book_store, 1):
+                expected = _decoded(book_store, text, options)
+            for size in BATCH_SIZES[1:]:
+                with batch_size(book_store, size):
+                    assert _decoded(book_store, text, options) == expected, \
+                        (size, options.describe(), text)
+
+
+# -- pending deltas, compaction, MVCC snapshots ----------------------------------------
+
+
+UPDATES = [
+    f'INSERT DATA {{ <{EX}book/new1> <{EX}has_author> <{EX}author/2> . }}',
+    f'INSERT DATA {{ <{EX}book/new1> <{EX}in_year> "2003"^^<{XSD_INT}> . }}',
+    f'INSERT DATA {{ <{EX}book/new1> <{EX}isbn_no> "isbn-new-1" . }}',
+    f'DELETE WHERE {{ <{EX}book/3> ?p ?o . }}',
+    f'DELETE DATA {{ <{EX}book/5> <{EX}has_author> <{EX}author/0> . }}',
+    f'INSERT DATA {{ <{EX}book/7> <{EX}has_author> <{EX}author/4> . }}',
+]
+
+
+def test_pending_deltas_then_compaction_agree_across_batch_sizes():
+    store = RDFStore.build(book_triples(), config=_config())
+    for update in UPDATES:
+        store.update(update)
+    assert store.delta is not None and not store.delta.is_empty()
+    assert_batch_sizes_agree(store, BOOK_QUERIES)      # MergeScan / delta path
+    store.compact()
+    assert_batch_sizes_agree(store, BOOK_QUERIES)      # rebuilt base, empty delta
+
+
+def test_open_mvcc_snapshot_agrees_across_batch_sizes():
+    """Snapshots pinned at different batch sizes over the *same* version must
+    answer identically — even while later writes and a compaction land."""
+    store = RDFStore.build(book_triples(), config=_config())
+    store.update(UPDATES[0])
+
+    snapshots = []
+    for size in BATCH_SIZES:
+        with batch_size(store, size):
+            snapshots.append(store.snapshot())
+    try:
+        # mutate underneath the pins: the snapshots must not notice
+        for update in UPDATES[1:]:
+            store.update(update)
+        store.compact()
+
+        for text in BOOK_QUERIES:
+            for options in SCHEMES:
+                results = [
+                    sorted(tuple(str(v) for v in row)
+                           for row in snap.decode_rows(snap.sparql(text, options)))
+                    for snap in snapshots
+                ]
+                assert results[1] == results[0], (3, options.describe(), text)
+                assert results[2] == results[0], (1024, options.describe(), text)
+    finally:
+        for snap in snapshots:
+            snap.close()
+
+
+def test_explain_analyze_tree_identical_across_batch_sizes():
+    """``explain(analyze=True)`` reports rows, never batches.
+
+    The plan tree's ``est=… actual=…`` annotations must be byte-identical
+    whether the run streamed 1024-row batches or single rows.  (The header
+    carries run-dependent cost counters and buffer stats, so only the tree
+    is compared.  The query has no LIMIT: early termination legitimately
+    changes how many rows upstream operators emit.)
+    """
+    store = RDFStore.build(book_triples(), config=_config())
+    query = BOOK_QUERIES[0]
+
+    def tree(text: str) -> list:
+        lines = text.splitlines()
+        return [line for line in lines if not line.startswith(("plan [", "buffers:"))]
+
+    for options in SCHEMES:
+        with batch_size(store, 1):
+            row_mode = tree(store.explain(query, options, analyze=True))
+        assert any("actual=" in line for line in row_mode)
+        with batch_size(store, 1024):
+            batched = tree(store.explain(query, options, analyze=True))
+        assert batched == row_mode, options.describe()
+
+
+def test_snapshot_context_pins_batch_size():
+    store = RDFStore.build(book_triples(), config=_config())
+    with batch_size(store, 3):
+        with store.snapshot() as snap:
+            assert snap.context.batch_size == 3
+    with store.snapshot() as snap:
+        assert snap.context.batch_size == store.config.batch_size

@@ -1,0 +1,243 @@
+"""Property tests for the vectorized batch kernels (hypothesis).
+
+Every kernel in :mod:`repro.engine.kernels` is checked against a naive
+Python reference over randomized inputs, including the awkward shapes the
+batched executor produces: empty batches, all-masked batches, and duplicate
+rows that straddle a batch boundary.  Examples are derandomized, matching
+the other hypothesis suites.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")  # optional test dep: skip cleanly, like rdflib
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Batch, BindingTable, hash_join, kernels
+from repro.engine.expressions import AggregateSpec, NumericVar
+
+oid_st = st.integers(0, 12)
+column_st = st.lists(oid_st, max_size=30)
+
+
+def _arr(values, dtype=np.int64):
+    return np.asarray(list(values), dtype=dtype)
+
+
+# -- expand_ranges ---------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(ranges=st.lists(st.tuples(st.integers(-3, 8), st.integers(-3, 8)), max_size=12))
+def test_expand_ranges_matches_python_loops(ranges):
+    lo = _arr(pair[0] for pair in ranges)
+    hi = _arr(pair[1] for pair in ranges)
+    source, positions = kernels.expand_ranges(lo, hi)
+    expected = [(i, p) for i, (a, b) in enumerate(ranges) for p in range(a, b)]
+    assert list(zip(source.tolist(), positions.tolist())) == expected
+
+
+def test_expand_ranges_empty_input():
+    source, positions = kernels.expand_ranges(_arr(()), _arr(()))
+    assert source.size == 0 and positions.size == 0
+
+
+# -- merge join ------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(sorted_keys=column_st, probe=column_st)
+def test_merge_join_indices_matches_reference(sorted_keys, probe):
+    sorted_keys = sorted(sorted_keys)
+    rows, positions = kernels.merge_join_indices(_arr(sorted_keys), _arr(probe))
+    expected = [(j, p) for j, key in enumerate(probe)
+                for p, value in enumerate(sorted_keys) if value == key]
+    assert list(zip(rows.tolist(), positions.tolist())) == expected
+
+
+# -- hash join -------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(
+    build=st.lists(st.tuples(oid_st, oid_st), max_size=20),
+    probe=st.lists(st.tuples(oid_st, oid_st), max_size=20),
+)
+def test_hash_join_indices_matches_reference(build, probe):
+    build_cols = [_arr(r[0] for r in build), _arr(r[1] for r in build)]
+    probe_cols = [_arr(r[0] for r in probe), _arr(r[1] for r in probe)]
+    if not build or not probe:
+        b_idx, p_idx = kernels.hash_join_indices(build_cols, probe_cols)
+        assert b_idx.size == 0 and p_idx.size == 0
+        return
+    b_idx, p_idx = kernels.hash_join_indices(build_cols, probe_cols)
+    # probe-major, build rows in input order: exactly a nested loop over
+    # probe rows then build rows
+    expected = [(i, j) for j, pr in enumerate(probe)
+                for i, br in enumerate(build) if br == pr]
+    assert list(zip(b_idx.tolist(), p_idx.tolist())) == expected
+
+
+@settings(max_examples=50, deadline=None, derandomize=True)
+@given(
+    left=st.lists(st.tuples(oid_st, oid_st), max_size=15),
+    right=st.lists(st.tuples(oid_st, oid_st), max_size=15),
+)
+def test_hash_join_tables_match_set_reference(left, right):
+    left_table = BindingTable({"a": _arr(r[0] for r in left), "b": _arr(r[1] for r in left)})
+    right_table = BindingTable({"a": _arr(r[0] for r in right), "c": _arr(r[1] for r in right)})
+    result = hash_join(left_table, right_table, ["a"])
+    expected = sorted((la, lb, rc) for la, lb in left for ra, rc in right if la == ra)
+    got = sorted(zip(result.column("a").tolist(), result.column("b").tolist(),
+                     result.column("c").tolist()))
+    assert got == expected
+
+
+# -- filter masks ----------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(values=column_st,
+       low=st.one_of(st.none(), oid_st),
+       high=st.one_of(st.none(), oid_st),
+       extras=st.lists(oid_st, max_size=4))
+def test_range_mask_matches_reference(values, low, high, extras):
+    mask = kernels.range_mask(_arr(values), low, high, _arr(extras))
+    expected = [((low is None or v >= low) and (high is None or v <= high)) or v in extras
+                for v in values]
+    assert mask.tolist() == expected
+
+
+@settings(max_examples=50, deadline=None, derandomize=True)
+@given(values=column_st, oid=oid_st)
+def test_eq_neq_masks(values, oid):
+    arr = _arr(values)
+    assert kernels.eq_mask(arr, oid).tolist() == [v == oid for v in values]
+    assert kernels.neq_mask(arr, oid).tolist() == [v != oid for v in values]
+
+
+# -- tombstone subtraction -------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(
+    rows=st.lists(st.tuples(oid_st, oid_st, oid_st), max_size=25),
+    dead=st.lists(st.tuples(oid_st, oid_st, oid_st), max_size=10),
+)
+def test_subtract_rows_mask_matches_set_membership(rows, dead):
+    row_cols = [_arr(r[i] for r in rows) for i in range(3)]
+    dead_cols = [_arr(r[i] for r in dead) for i in range(3)]
+    mask = kernels.subtract_rows_mask(row_cols, dead_cols)
+    dead_set = set(dead)
+    assert mask.tolist() == [row in dead_set for row in rows]
+
+
+def test_subtract_rows_mask_empty_sides():
+    cols = [_arr([1, 2]), _arr([3, 4])]
+    empty = [_arr(()), _arr(())]
+    assert kernels.subtract_rows_mask(empty, cols).size == 0
+    assert kernels.subtract_rows_mask(cols, empty).tolist() == [False, False]
+
+
+# -- DISTINCT --------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(rows=st.lists(st.tuples(oid_st, oid_st), max_size=30),
+       cuts=st.lists(st.integers(0, 30), max_size=4))
+def test_streaming_distinct_equals_one_shot_regardless_of_batching(rows, cuts):
+    """Batch-boundary-straddling duplicates are dropped exactly once."""
+    one_shot = []
+    seen = set()
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            one_shot.append(row)
+
+    bounds = sorted({c for c in cuts if c < len(rows)} | {0, len(rows)})
+    streamed = []
+    state = kernels.StreamingDistinct()
+    for start, stop in zip(bounds, bounds[1:]):
+        chunk = rows[start:stop]
+        cols = [_arr(r[0] for r in chunk), _arr(r[1] for r in chunk)]
+        keep = state.keep_indices(cols)
+        streamed.extend(chunk[i] for i in keep.tolist())
+    assert streamed == one_shot
+
+
+def test_streaming_distinct_empty_batches_are_noops():
+    state = kernels.StreamingDistinct()
+    assert state.keep_indices([_arr(())]).size == 0
+    assert state.keep_indices([_arr([5, 5, 6])]).tolist() == [0, 2]
+    assert state.keep_indices([_arr(())]).size == 0
+    assert state.keep_indices([_arr([6, 7])]).tolist() == [1]
+
+
+@settings(max_examples=50, deadline=None, derandomize=True)
+@given(rows=st.lists(st.tuples(oid_st, oid_st), min_size=1, max_size=25))
+def test_first_occurrence_indices_matches_binding_table_distinct(rows):
+    table = BindingTable({"a": _arr(r[0] for r in rows), "b": _arr(r[1] for r in rows)})
+    idx = kernels.first_occurrence_indices([table.column("a"), table.column("b")])
+    kept = table.select_rows(idx)
+    expected = table.distinct()
+    assert kept.to_set() == expected.to_set()
+    assert kept.num_rows == expected.num_rows
+
+
+# -- grouped aggregation ---------------------------------------------------------------
+
+float_st = st.one_of(
+    st.floats(-100, 100, allow_nan=False),
+    st.just(float("nan")), st.just(float("inf")), st.just(float("-inf")))
+
+
+@settings(max_examples=100, deadline=None, derandomize=True)
+@given(rows=st.lists(st.tuples(oid_st, float_st), max_size=25),
+       func=st.sampled_from(["count", "sum", "avg", "min", "max"]))
+def test_grouped_aggregate_matches_aggregate_spec_compute(rows, func):
+    keys = _arr(r[0] for r in rows)
+    values = _arr((r[1] for r in rows), dtype=np.float64)
+    representatives, group_ids = kernels.group_rows([keys])
+    out = kernels.grouped_aggregate(func, group_ids, representatives.size, values)
+
+    # reference: per-group dict in first-appearance order, AggregateSpec.compute
+    spec = AggregateSpec(func=func, expression=NumericVar("x"), alias="x")
+    groups: dict = {}
+    for key, value in rows:
+        groups.setdefault(key, []).append(value)
+    expected_keys = list(groups)
+    assert keys[representatives].tolist() == expected_keys
+    expected = [spec.compute(np.asarray(vals, dtype=np.float64))
+                for vals in groups.values()]
+    assert len(out) == len(expected)
+    for got, want in zip(out.tolist(), expected):
+        assert (math.isnan(got) and math.isnan(want)) or got == pytest.approx(want)
+
+
+def test_group_rows_empty():
+    representatives, group_ids = kernels.group_rows([_arr(())])
+    assert representatives.size == 0 and group_ids.size == 0
+
+
+# -- Batch semantics -------------------------------------------------------------------
+
+
+def test_batch_all_masked_compacts_to_empty_with_schema():
+    table = BindingTable({"a": _arr([1, 2, 3])})
+    batch = Batch(table, np.zeros(3, dtype=bool))
+    assert batch.live_count() == 0
+    compacted = batch.compact()
+    assert compacted.num_rows == 0
+    assert compacted.variables == ["a"]
+
+
+def test_batch_mask_chaining_intersects():
+    table = BindingTable({"a": _arr([1, 2, 3, 4])})
+    batch = Batch(table, np.asarray([True, True, False, True]))
+    narrowed = batch.mask_valid(np.asarray([True, False, True, True]))
+    assert narrowed.live_count() == 2
+    assert narrowed.compact().column("a").tolist() == [1, 4]

@@ -289,6 +289,101 @@ class TestOperators:
         assert join.operator_names()["IndexScanOp"] == 1
 
 
+class TestBatchedExecution:
+    """The batch protocol: size sweeps, row accounting, legacy fallback."""
+
+    def _pipeline(self, ctx, p_name, p_age):
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")))
+        return NestedLoopIndexJoinOp(scan, TriplePatternPlan(PatternTerm.variable("s"),
+                                                             PatternTerm.constant(p_age),
+                                                             PatternTerm.variable("a")))
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 1024])
+    def test_pipeline_rows_identical_across_batch_sizes(self, size):
+        ctx, p_name, p_age, _ages = _context()
+        reference_ctx, rp_name, rp_age, _ = _context()
+        reference, _ = execute_plan(self._pipeline(reference_ctx, rp_name, rp_age),
+                                    reference_ctx)
+        ctx.batch_size = size
+        result, _ = execute_plan(self._pipeline(ctx, p_name, p_age), ctx)
+        assert result.variables == reference.variables
+        for name in reference.variables:
+            assert result.column(name).tolist() == reference.column(name).tolist()
+
+    @pytest.mark.parametrize("size", [1, 3, 1024])
+    def test_operator_counters_independent_of_batch_size(self, size):
+        ctx, p_name, p_age, _ages = _context()
+        _result, cost = execute_plan(self._pipeline(ctx, p_name, p_age), ctx)
+        reference = dict(cost.counters)
+        ctx.batch_size = size
+        _result, swept = execute_plan(self._pipeline(ctx, p_name, p_age), ctx)
+        for key in ("operator_invocations", "join_operations", "tuples_probed"):
+            assert swept.counters[key] == reference[key], key
+
+    def test_actual_rows_counts_rows_not_batches(self):
+        """Regression: with 6 output rows at batch_size=1 the old counter
+        would have read 6 either way, but a row-per-batch stream must not
+        report the *batch* count."""
+        ctx, p_name, p_age, _ages = _context()
+        ctx.batch_size = 2  # 6 rows -> 3 batches; actual_rows must still be 6
+        plan = self._pipeline(ctx, p_name, p_age)
+        execute_plan(plan, ctx)
+        assert plan.actual_rows == 6
+        assert plan.children()[0].actual_rows == 6
+
+    def test_streaming_batches_preserve_schema_on_empty_result(self):
+        ctx, p_name, _p_age, _ages = _context()
+        ctx.batch_size = 4
+        scan = IndexScanOp(TriplePatternPlan(PatternTerm.variable("s"),
+                                             PatternTerm.constant(p_name),
+                                             PatternTerm.variable("n")),
+                           object_range=OidRange(1, 0))  # empty interval
+        result, _ = execute_plan(scan, ctx)
+        assert result.num_rows == 0
+        assert set(result.variables) == {"s", "n"}
+
+    def test_legacy_execute_fallback_is_batched(self):
+        """Operators implementing only ``_execute`` still stream in batches."""
+
+        from repro.engine import PhysicalOperator
+
+        class LegacyOp(PhysicalOperator):
+            def _execute(self, context):
+                return BindingTable({"a": np.arange(5, dtype=np.int64)})
+
+        ctx, _p, _q, _ages = _context()
+        ctx.batch_size = 2
+        op = LegacyOp()
+        op.open(ctx)
+        sizes = []
+        while True:
+            batch = op.next_batch(ctx)
+            if batch is None:
+                break
+            sizes.append(batch.live_count())
+        op.close(ctx)
+        assert sizes == [2, 2, 1]
+        assert op.actual_rows == 5
+
+    def test_limit_stops_pulling_from_child(self):
+        ctx, _p, _q, _ages = _context()
+        ctx.batch_size = 2
+
+        class CountingOp(MaterializedOp):
+            pulls = 0
+
+            def _next_batch(self, context):
+                type(self).pulls += 1
+                return super()._next_batch(context)
+
+        child = CountingOp(BindingTable({"a": np.arange(100, dtype=np.int64)}))
+        limited, _ = execute_plan(LimitOp(child, 2), ctx)
+        assert limited.num_rows == 2
+        assert CountingOp.pulls <= 2  # never drained all 50 batches
+
+
 class TestPlanPrimitives:
     def test_pattern_term_validation(self):
         with pytest.raises(Exception):

@@ -59,9 +59,17 @@ YEARS = list(range(1995, 2005))
 ISBNS = [f"isbn-p{i:02d}" for i in range(6)]
 
 
-def _config() -> StoreConfig:
-    return StoreConfig(discovery=DiscoveryConfig(
+BATCH_SIZES = [1, 1024]
+"""Row-at-a-time oracle vs. the production default: the random
+insert/delete/compact interleavings sweep the batched executor too."""
+
+
+def _config(batch_size: int | None = None) -> StoreConfig:
+    config = StoreConfig(discovery=DiscoveryConfig(
         generalization=GeneralizationConfig(min_support=3)))
+    if batch_size is not None:
+        config.batch_size = batch_size
+    return config
 
 
 def _triple(kind: str, subject: str, value) -> Triple:
@@ -131,10 +139,11 @@ def assert_matches_oracle(store: RDFStore, model: set) -> None:
                 (text, options.describe())
 
 
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
 @settings(max_examples=25, deadline=None, derandomize=True)
 @given(ops=st.lists(op_st, max_size=14))
-def test_interleavings_match_rebuild_oracle(ops):
-    store = RDFStore.build(book_triples(), config=_config())
+def test_interleavings_match_rebuild_oracle(batch_size, ops):
+    store = RDFStore.build(book_triples(), config=_config(batch_size))
     model = set(book_triples())
     apply_ops(store, model, ops)
     assert_matches_oracle(store, model)          # pre-compaction
@@ -142,12 +151,13 @@ def test_interleavings_match_rebuild_oracle(ops):
     assert_matches_oracle(store, model)          # post-compaction
 
 
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
 @settings(max_examples=25, deadline=None, derandomize=True)
 @given(ops=st.lists(op_st, max_size=10))
-def test_snapshot_pinned_mid_sequence_stays_stable(ops):
+def test_snapshot_pinned_mid_sequence_stays_stable(batch_size, ops):
     """A snapshot pinned at a random point keeps answering identically while
     the rest of the sequence (including compactions) applies."""
-    store = RDFStore.build(book_triples(), config=_config())
+    store = RDFStore.build(book_triples(), config=_config(batch_size))
     model = set(book_triples())
     half = len(ops) // 2
     apply_ops(store, model, ops[:half])
