@@ -31,6 +31,13 @@ from .errors import (
     StorageError,
 )
 from .model import BNode, Graph, IRI, Literal, Triple
+from .obs import (
+    MetricsRegistry,
+    QueryTrace,
+    SlowQueryLog,
+    default_registry,
+    render_prometheus,
+)
 from .sparql import (
     DEFAULT_SCHEME,
     OPTIMIZED_SCHEME,
@@ -59,6 +66,7 @@ __all__ = [
     "Graph",
     "IRI",
     "Literal",
+    "MetricsRegistry",
     "OPTIMIZED_SCHEME",
     "ParseError",
     "PendingUpdatesError",
@@ -67,11 +75,13 @@ __all__ = [
     "PlanError",
     "PlannerOptions",
     "QueryServer",
+    "QueryTrace",
     "RDFSCAN_SCHEME",
     "RDFStore",
     "ReadSnapshot",
     "ReproError",
     "SchemaError",
+    "SlowQueryLog",
     "SnapshotInfo",
     "StorageError",
     "StoreConfig",
@@ -82,4 +92,6 @@ __all__ = [
     "UpdateResult",
     "WriteAheadLog",
     "__version__",
+    "default_registry",
+    "render_prometheus",
 ]

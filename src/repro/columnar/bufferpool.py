@@ -163,6 +163,22 @@ class BufferPool:
         with self._lock:
             return self._stats_locked()
 
+    def snapshot_delta(self, mark: Dict[str, int]) -> Dict[str, int]:
+        """Stats *since* ``mark`` (a dict previously returned by :meth:`stats`).
+
+        The monotonic counters — ``evictions``, ``page_reads``,
+        ``page_hits``, ``lazy_values_loaded`` — come back as deltas, so one
+        query's buffer activity can be attributed instead of reporting
+        process-lifetime numbers; everything else (capacities, cached pages,
+        lazy-segment gauges) stays point-in-time.  Attribution is
+        best-effort under concurrent queries, like ``BUFFERS`` accounting in
+        any multi-user database.
+        """
+        current = self.stats()
+        for key in ("evictions", "page_reads", "page_hits", "lazy_values_loaded"):
+            current[key] = current[key] - mark.get(key, 0)
+        return current
+
     def _stats_locked(self) -> Dict[str, int]:
         cached = len(self._pages)
         return {

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import copy
 import os
+import time
 
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,6 +58,13 @@ from ..cs import DiscoveryConfig, EmergentSchema, discover_schema
 from ..engine import ExecutionContext, execute_plan
 from ..errors import PendingUpdatesError, PersistenceError, ReproError, StorageError
 from ..model import Graph, IRI, TermDictionary, Triple
+from ..obs import (
+    MetricsRegistry,
+    QueryObserver,
+    QueryTrace,
+    SlowQueryLog,
+    default_registry,
+)
 from ..persist import SnapshotInfo, SnapshotReader, write_snapshot
 from ..rio import parse_rdf
 from ..server import ReadWriteLock, SnapshotRegistry, StoreSession
@@ -101,6 +109,10 @@ class StoreConfig:
             differential-testing oracle); the default comes from the
             ``REPRO_BATCH_SIZE`` environment variable, falling back to
             1024.  A runtime tuning knob, not part of the on-disk layout.
+        slow_query_seconds: queries at or above this wall time land in the
+            store's slow-query log (see :meth:`RDFStore.slow_queries`).
+        slow_query_log_size: ring-buffer capacity of the slow-query log
+            (oldest entries are evicted first).
     """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -113,6 +125,8 @@ class StoreConfig:
     plan_cache_size: int = 128
     batch_size: int = field(
         default_factory=lambda: int(os.environ.get("REPRO_BATCH_SIZE", "1024")))
+    slow_query_seconds: float = 0.25
+    slow_query_log_size: int = 128
 
     def __post_init__(self) -> None:
         """Validate eagerly so misconfiguration fails at construction, not
@@ -133,6 +147,14 @@ class StoreConfig:
         if not isinstance(self.batch_size, int) or self.batch_size < 1:
             raise StorageError(
                 f"batch_size must be a positive integer, got {self.batch_size!r}")
+        if not isinstance(self.slow_query_seconds, (int, float)) or self.slow_query_seconds < 0:
+            raise StorageError(
+                f"slow_query_seconds must be a non-negative number, "
+                f"got {self.slow_query_seconds!r}")
+        if not isinstance(self.slow_query_log_size, int) or self.slow_query_log_size < 1:
+            raise StorageError(
+                f"slow_query_log_size must be a positive integer, "
+                f"got {self.slow_query_log_size!r}")
 
 
 @dataclass(frozen=True)
@@ -176,8 +198,99 @@ class RDFStore:
         """Base-structure generation: bumped on every physical rebuild.
         Together with ``delta.version`` it identifies one immutable state —
         the version pair an MVCC read snapshot pins."""
-        self._rwlock = ReadWriteLock()
+        self.metrics_registry = MetricsRegistry()
+        """This store's metrics (see :mod:`repro.obs`).  *Store-lifetime*,
+        not generation-lifetime: it survives rebuilds, compactions and even
+        ``open(into=)`` state swaps, so counters never reset underneath a
+        scraper."""
+        self.slow_query_log = SlowQueryLog(
+            threshold_seconds=self.config.slow_query_seconds,
+            capacity=self.config.slow_query_log_size)
+        self._observer = QueryObserver(self.metrics_registry, self.slow_query_log)
+        self._last_trace: Optional[QueryTrace] = None
+        self._rwlock = ReadWriteLock(metrics=self.metrics_registry)
         self._snapshots = SnapshotRegistry()
+        self._update_seconds = self.metrics_registry.histogram(
+            "update_seconds", "Wall time of SPARQL Update requests.")
+        self._compaction_seconds = self.metrics_registry.histogram(
+            "compaction_seconds", "Wall time of delta-into-base compactions.")
+        self._checkpoint_seconds = self.metrics_registry.histogram(
+            "checkpoint_seconds", "Wall time of full checkpoints (compact+snapshot).")
+        self._undo_log_entries = self.metrics_registry.histogram(
+            "undo_log_entries", "Undo-log depth (keys touched) per update request.",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 250, 1000, 5000))
+        self._register_collector_metrics()
+
+    def _register_collector_metrics(self) -> None:
+        """Adapt existing ``stats()``-style introspection into the registry.
+
+        Callback-backed metrics read the live values at scrape time — no
+        double bookkeeping, and the closures read ``self``'s *current*
+        attributes, so they keep tracking the store across rebuilds and
+        ``open(into=)`` swaps.
+        """
+        registry = self.metrics_registry
+        registry.counter("buffer_pool_page_hits_total",
+                         "Buffer-pool page accesses served from cache.",
+                         fn=lambda: self.pool.tracker.page_hits)
+        registry.counter("buffer_pool_page_reads_total",
+                         "Buffer-pool page misses (simulated disk reads).",
+                         fn=lambda: self.pool.tracker.page_reads)
+        registry.counter("buffer_pool_evictions_total",
+                         "Pages evicted by LRU capacity pressure.",
+                         fn=lambda: self.pool.evictions)
+        registry.counter("buffer_pool_lazy_values_loaded_total",
+                         "Column values materialized from disk by lazy segments.",
+                         fn=lambda: self.pool.lazy_values_loaded)
+        registry.gauge("buffer_pool_cached_pages", "Pages currently cached.",
+                       fn=lambda: self.pool.cached_page_count())
+        registry.gauge("buffer_pool_resident_bytes",
+                       "Bytes of column data currently cached.",
+                       fn=lambda: self.pool.stats()["resident_bytes"])
+        # each total folds in the per-version snapshot caches (server reads)
+        # alongside the store's own cache, and survives clears/rotation
+        registry.counter("plan_cache_hits_total",
+                         "Plan-cache hits over the store lifetime (survives clears).",
+                         fn=lambda: (self.plan_cache.lifetime_hits
+                                     + self._snapshots.plan_cache_stats()["hits"]))
+        registry.counter("plan_cache_misses_total",
+                         "Plan-cache misses over the store lifetime (survives clears).",
+                         fn=lambda: (self.plan_cache.lifetime_misses
+                                     + self._snapshots.plan_cache_stats()["misses"]))
+        registry.counter("plan_cache_evictions_total",
+                         "Plan-cache LRU evictions over the store lifetime.",
+                         fn=lambda: (self.plan_cache.lifetime_evictions
+                                     + self._snapshots.plan_cache_stats()["evictions"]))
+        registry.gauge("plan_cache_entries", "Plans currently cached.",
+                       fn=lambda: (len(self.plan_cache)
+                                   + self._snapshots.plan_cache_stats()["entries"]))
+        registry.gauge("plan_cache_generation",
+                       "Plan-cache invalidation generation.",
+                       fn=lambda: self.plan_cache.generation)
+        registry.gauge("delta_inserts", "Pending (uncompacted) inserted triples.",
+                       fn=lambda: self.delta.insert_count())
+        registry.gauge("delta_tombstones", "Pending (uncompacted) delete tombstones.",
+                       fn=lambda: self.delta.tombstone_count())
+        registry.gauge("delta_deferred_reclaim_depth",
+                       "Delta versions whose page reclamation waits on open pins.",
+                       fn=lambda: self.delta.deferred_reclaim_depth())
+        registry.gauge("open_snapshots", "MVCC read snapshots currently pinned.",
+                       fn=lambda: self._snapshots.active_count())
+        registry.gauge("pinned_delta_versions",
+                       "Distinct delta versions referenced by open snapshots.",
+                       fn=lambda: len(self.delta.pinned_versions()))
+        registry.gauge("store_generation", "Base-structure rebuild generation.",
+                       fn=lambda: self.generation)
+        registry.gauge("live_triples",
+                       "Triples visible to queries (base + delta - tombstones).",
+                       fn=lambda: self.live_triple_count())
+        registry.gauge("wal_records",
+                       "Intact records in the attached WAL (0 when detached).",
+                       fn=lambda: (self.journal.wal.record_count()
+                                   if self.journal.wal is not None else 0))
+        registry.gauge("slow_queries_logged",
+                       "Entries currently held by the slow-query log.",
+                       fn=lambda: len(self.slow_query_log))
 
     # -- construction pipeline ----------------------------------------------------
 
@@ -451,6 +564,7 @@ class RDFStore:
                 cost_model=self.config.cost_model,
                 delta=self.delta,
                 batch_size=self.config.batch_size,
+                metrics=self.metrics_registry,
             )
         # batch_size is a live runtime knob: the context is cached, so pick
         # up config changes here (snapshots still capture it at pin time)
@@ -520,6 +634,7 @@ class RDFStore:
         # updates keeps the exclusive sections (which block new snapshot
         # pins) as short as possible, and unparsable requests never serialize
         request = parse_update(text)
+        started = time.perf_counter()
         with self._rwlock.write_locked():
             undo = self.delta.begin_request()
             try:
@@ -538,6 +653,8 @@ class RDFStore:
                 # never O(pending writes) — the property that keeps a burst of
                 # N uncompacted updates linear instead of quadratic
                 self.delta.abort_request(undo)
+                self.metrics_registry.counter(
+                    "update_errors_total", "Update requests rolled back.").inc()
                 raise
             else:
                 self.delta.commit_request(undo)
@@ -545,6 +662,15 @@ class RDFStore:
                 # even a rolled-back request may have run queries (DELETE WHERE)
                 # and appended dictionary terms; drop plan/encoder caches either way
                 self._after_write()
+            self._update_seconds.observe(time.perf_counter() - started)
+            self._undo_log_entries.observe(len(undo))
+            registry = self.metrics_registry
+            registry.counter("updates_total",
+                             "Committed SPARQL Update requests.").inc()
+            registry.counter("triples_inserted_total",
+                             "Triples inserted by updates.").inc(result.inserted)
+            registry.counter("triples_deleted_total",
+                             "Triples deleted by updates.").inc(result.deleted)
             return result
 
     def _preserve_pinned_state(self) -> None:
@@ -644,6 +770,7 @@ class RDFStore:
             A :class:`~repro.updates.CompactionReport`; a no-op report when
             nothing was pending.
         """
+        started = time.perf_counter()
         with self._rwlock.write_locked():
             # compaction re-maps literal OIDs (value-order restore) and
             # mutates schema tables in place; clone both for the live store
@@ -655,6 +782,9 @@ class RDFStore:
                 if self.schema is not None:
                     self.catalog = Catalog(self.schema, self.dictionary)
                 self.build_indexes()
+                self.metrics_registry.counter(
+                    "compactions_total", "Delta-into-base compactions applied.").inc()
+                self._compaction_seconds.observe(time.perf_counter() - started)
             return report
 
     # -- persistence --------------------------------------------------------------------
@@ -773,6 +903,10 @@ class RDFStore:
         seeded = int(reader.manifest.get("wal_seeded_records", 0))
         store.plan_cache.generation = (int(reader.manifest["plan_cache_generation"])
                                        + max(0, replayed - seeded))
+        if replayed:
+            default_registry().counter(
+                "wal_replayed_records_total",
+                "WAL records re-applied while opening databases.").inc(replayed)
         store.db_path = Path(path)
         if into is not None:
             # swap under the served store's writer lock: snapshot acquisition
@@ -790,6 +924,25 @@ class RDFStore:
             new_state = dict(store.__dict__)
             new_state["_rwlock"] = lock
             new_state["_snapshots"] = registry
+            # observability state is store-lifetime, like the lock: counters
+            # must keep accumulating (and scrapers keep their registry
+            # reference) across the swap.  The callback gauges registered at
+            # the served store's construction read `self.<attr>` at scrape
+            # time, so they pick up the swapped-in pool/delta/plan cache
+            # automatically.  The assembly store's registry (and the
+            # observations WAL replay recorded into it) is discarded with it.
+            new_state["metrics_registry"] = into.metrics_registry
+            new_state["slow_query_log"] = into.slow_query_log
+            new_state["_observer"] = into._observer
+            new_state["_last_trace"] = into._last_trace
+            new_state["_update_seconds"] = into._update_seconds
+            new_state["_compaction_seconds"] = into._compaction_seconds
+            new_state["_checkpoint_seconds"] = into._checkpoint_seconds
+            new_state["_undo_log_entries"] = into._undo_log_entries
+            # the assembly store's cached context/engine reference its own
+            # (now discarded) registry; rebuild lazily against the survivor
+            new_state["_context"] = None
+            new_state["_sparql_engine"] = None
             with lock.write_locked():
                 into.__dict__.update(new_state)
                 # only now that the swap is published: drop the registry's
@@ -822,6 +975,7 @@ class RDFStore:
             PersistenceError: when no path is given and the store is not
                 attached to a database.
         """
+        started = time.perf_counter()
         with self._rwlock.write_locked():
             target = Path(path) if path is not None else self.db_path
             if target is None:
@@ -829,6 +983,9 @@ class RDFStore:
                     "store is not attached to a database; pass a path or call save() first")
             compaction = self.compact()
             snapshot = self.save(target)
+            self.metrics_registry.counter(
+                "checkpoints_total", "Checkpoints (compact + snapshot + WAL reset).").inc()
+            self._checkpoint_seconds.observe(time.perf_counter() - started)
             return CheckpointReport(compaction=compaction, snapshot=snapshot)
 
     def _detach_database(self) -> None:
@@ -864,13 +1021,17 @@ class RDFStore:
             self._sparql_engine = SparqlEngine(context, plan_cache=self.plan_cache)
         return self._sparql_engine
 
-    def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
+    def sparql(self, text: str, options: Optional[PlannerOptions] = None,
+               trace: bool = False) -> QueryResult:
         """Run a SPARQL query.
 
         Args:
             text: query text in the supported SELECT subset.
             options: plan scheme configuration (``default``, ``rdfscan`` or
                 ``optimized``); defaults to RDFscan/RDFjoin.
+            trace: when ``True``, record a per-operator
+                :class:`~repro.obs.QueryTrace` for this run — returned on
+                the result's ``trace`` field and via :meth:`last_trace`.
 
         Returns:
             A :class:`QueryResult` with OID bindings, measured cost and the
@@ -881,7 +1042,20 @@ class RDFStore:
             PlanError: when the options name an unknown plan scheme.
             ExecutionError: when the plan needs a store that is not built.
         """
-        return self.sparql_engine().query(text, options)
+        tracer = QueryTrace() if trace else None
+        started = time.perf_counter()
+        try:
+            result = self.sparql_engine().query(text, options, tracer=tracer)
+        except Exception:
+            self._observer.error("sparql")
+            raise
+        elapsed = time.perf_counter() - started
+        scheme = (options or PlannerOptions()).scheme
+        self._observer.observe("sparql", scheme, elapsed, len(result),
+                               text=text, trace=tracer)
+        if tracer is not None:
+            self._last_trace = tracer
+        return result
 
     def sparql_plan(self, text: str, options: Optional[PlannerOptions] = None):
         """Parse and plan (but do not run) a SPARQL query.
@@ -906,24 +1080,30 @@ class RDFStore:
         Returns:
             A multi-line string: a header with the effective options
             followed by the indented operator tree, each line carrying
-            ``est=…`` (and ``actual=…`` after execution).  With
-            ``analyze=True`` a ``buffers:`` line reports the pool's memory
-            accounting — cached pages, evictions and how much of a lazily
-            opened database the run materialized.
+            ``est=…`` (and ``actual=…`` plus per-operator ``time=`` after
+            execution).  With ``analyze=True`` a ``buffers:`` line reports
+            the pool's memory accounting — cached pages, *this run's*
+            evictions/reads/hits (via :meth:`BufferPool.snapshot_delta`)
+            and how much of a lazily opened database the run materialized.
         """
         options = options or PlannerOptions()
         _query, plan = self.sparql_engine().prepare(text, options)
         header = f"plan [{options.describe()}]"
+        trace = None
         if analyze:
-            _bindings, cost = execute_plan(plan, self.context())
+            trace = QueryTrace()
+            mark = self.pool.stats()
+            context = self.context().with_tracer(trace)
+            _bindings, cost = execute_plan(plan, context)
+            self._last_trace = trace
             header += f" {cost.describe()}"
-            stats = self.pool.stats()
+            stats = self.pool.snapshot_delta(mark)
             header += (
                 "\nbuffers: cached_pages={cached_pages} resident_bytes={resident_bytes}"
                 " evictions={evictions} reads={page_reads} hits={page_hits}"
                 " lazy_materialized={lazy_segments_materialized}/{lazy_segments_registered}"
                 " lazy_values_loaded={lazy_values_loaded}".format(**stats))
-        return header + "\n" + plan.explain()
+        return header + "\n" + plan.explain(trace=trace)
 
     def plan_cache_stats(self) -> Dict[str, int]:
         """Plan-cache counters: size, capacity, hits, misses, evictions,
@@ -938,11 +1118,44 @@ class RDFStore:
         """
         return self.pool.stats()
 
-    def sql(self, text: str) -> SqlResult:
+    # -- observability -------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, float]:
+        """Every metric sample as one flat dict (see ``docs/observability.md``).
+
+        Merges this store's registry with the process-global one (WAL
+        counters live there); keys are ``name{label="value"}`` strings,
+        histograms contribute ``_count``/``_sum``/``_max``/``_p50``/
+        ``_p95``/``_p99`` entries.
+        """
+        merged = dict(default_registry().collect())
+        merged.update(self.metrics_registry.collect())
+        return merged
+
+    def slow_queries(self) -> List:
+        """Newest-first :class:`~repro.obs.SlowQueryEntry` list.
+
+        Queries whose wall time reached ``config.slow_query_seconds`` land
+        here (ring buffer of ``config.slow_query_log_size`` entries).
+        """
+        return self.slow_query_log.entries()
+
+    def last_trace(self) -> Optional[QueryTrace]:
+        """The most recent traced run's :class:`~repro.obs.QueryTrace`.
+
+        Populated by ``sparql(..., trace=True)``, ``sql(..., trace=True)``
+        and ``explain(..., analyze=True)``; ``None`` until one of those ran.
+        """
+        return self._last_trace
+
+    def sql(self, text: str, trace: bool = False) -> SqlResult:
         """Run a SQL query against the emergent relational view.
 
         Args:
             text: a SELECT statement over the discovered tables.
+            trace: when ``True``, record a per-operator
+                :class:`~repro.obs.QueryTrace` for this run — returned on
+                the result's ``trace`` field and via :meth:`last_trace`.
 
         Returns:
             A :class:`SqlResult` with rows, cost and the executed plan.
@@ -951,7 +1164,20 @@ class RDFStore:
             ParseError: when the SQL text cannot be parsed.
             SchemaError: when the query references unknown tables/columns.
         """
-        return SqlEngine(self.context(), self.require_catalog()).query(text)
+        tracer = QueryTrace() if trace else None
+        started = time.perf_counter()
+        try:
+            result = SqlEngine(self.context(), self.require_catalog()).query(
+                text, tracer=tracer)
+        except Exception:
+            self._observer.error("sql")
+            raise
+        elapsed = time.perf_counter() - started
+        self._observer.observe("sql", "sql", elapsed, len(result),
+                               text=text, trace=tracer)
+        if tracer is not None:
+            self._last_trace = tracer
+        return result
 
     def decode_rows(self, result: QueryResult | SqlResult) -> List[tuple]:
         """Decode a query result's OIDs back to Python values.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import copy
+
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -9,6 +11,7 @@ from ..columnar import BufferPool, CostModel, CostTracker
 from ..cs import EmergentSchema
 from ..errors import ExecutionError
 from ..model import TermDictionary
+from ..obs import NULL_TRACER
 from ..storage import ClusteredStore, ExhaustiveIndexStore
 from .values import ValueDecoder, ValueEncoder
 
@@ -37,12 +40,30 @@ class ExecutionContext:
     """Rows per batch flowing between operators (from
     :attr:`repro.core.StoreConfig.batch_size`).  Size 1 degenerates to
     row-at-a-time execution; both sizes must produce identical answers."""
+    tracer: object = NULL_TRACER
+    """Per-query span recorder (:class:`repro.obs.QueryTrace`); the shared
+    no-op :data:`repro.obs.NULL_TRACER` by default, so untraced runs pay one
+    ``tracer.enabled`` attribute check per operator call."""
+    metrics: Optional[object] = None
+    """Optional :class:`repro.obs.MetricsRegistry` the executor feeds
+    batch/row throughput counters into (``None`` disables them)."""
     encoder: ValueEncoder = field(init=False)
     decoder: ValueDecoder = field(init=False)
 
     def __post_init__(self) -> None:
         self.encoder = ValueEncoder(self.dictionary)
         self.decoder = ValueDecoder(self.dictionary)
+
+    def with_tracer(self, tracer) -> "ExecutionContext":
+        """A shallow copy of this context with ``tracer`` attached.
+
+        Shares the encoder/decoder (and every store reference) with the
+        original, so dictionary-growth invalidation keeps propagating; only
+        the tracer slot differs.
+        """
+        clone = copy.copy(self)
+        clone.tracer = tracer
+        return clone
 
     @property
     def tracker(self) -> CostTracker:

@@ -22,6 +22,8 @@ def execute_plan(plan: PhysicalOperator, context: ExecutionContext) -> Tuple[Bin
     started = time.perf_counter()
     result = plan.execute(context)
     elapsed = time.perf_counter() - started
+    if context.tracer.enabled:
+        context.tracer.finish(elapsed)
     counters = context.tracker.diff(baseline)
     simulated = context.cost_model.simulated_seconds(counters)
     return result, QueryCost(wall_seconds=elapsed, counters=counters, simulated_seconds=simulated)

@@ -216,18 +216,54 @@ class PhysicalOperator:
     def open(self, context) -> None:
         """Prepare the operator for a new run (resets row accounting)."""
         self._rows_emitted = 0
-        self._open(context)
+        tracer = context.tracer
+        if tracer.enabled:
+            span = tracer.enter(self, self.describe())
+            try:
+                self._open(context)
+            finally:
+                tracer.exit(span)
+        else:
+            self._open(context)
 
     def next_batch(self, context) -> Optional[Batch]:
         """The next output batch, or ``None`` when the stream is exhausted."""
-        batch = self._next_batch(context)
+        tracer = context.tracer
+        if tracer.enabled:
+            span = tracer.enter(self, self.describe())
+            batch = None
+            try:
+                batch = self._next_batch(context)
+            finally:
+                if batch is not None:
+                    tracer.exit(span, rows=batch.live_count(), batches=1)
+                else:
+                    tracer.exit(span)
+        else:
+            batch = self._next_batch(context)
         if batch is not None:
             self._rows_emitted += batch.live_count()
         return batch
 
     def close(self, context) -> None:
-        """Release per-run state and publish the observed cardinality."""
-        self._close(context)
+        """Release per-run state and publish the observed cardinality.
+
+        ``actual_rows`` is a most-recent-run convenience for interactive
+        ``explain(analyze=True)``; cached plans are shared across snapshots,
+        so concurrent executions race on it.  Per-run accounting that must
+        not be clobbered belongs on the execution's
+        :class:`~repro.obs.QueryTrace` (see ``context.tracer``), which is
+        private to each run.
+        """
+        tracer = context.tracer
+        if tracer.enabled:
+            span = tracer.enter(self, self.describe())
+            try:
+                self._close(context)
+            finally:
+                tracer.exit(span)
+        else:
+            self._close(context)
         self.actual_rows = int(getattr(self, "_rows_emitted", 0))
 
     def _open(self, context) -> None:
@@ -254,14 +290,26 @@ class PhysicalOperator:
         with self._execution_lock():
             self.open(context)
             tables: List[BindingTable] = []
+            batches = 0
+            rows = 0
             try:
                 while True:
                     batch = self.next_batch(context)
                     if batch is None:
                         break
+                    batches += 1
+                    rows += batch.live_count()
                     tables.append(batch.compact())
             finally:
                 self.close(context)
+        metrics = context.metrics
+        if metrics is not None:
+            metrics.counter(
+                "batches_emitted_total",
+                "Batches emitted by root plan operators.").inc(batches)
+            metrics.counter(
+                "rows_emitted_total",
+                "Rows emitted by root plan operators.").inc(rows)
         return concat_tables(tables)
 
     def _execution_lock(self) -> threading.Lock:
@@ -294,17 +342,26 @@ class PhysicalOperator:
             parts.append(f"actual={self.actual_rows}")
         return " ".join(parts)
 
-    def explain(self, indent: int = 0) -> str:
+    def explain(self, indent: int = 0, trace=None) -> str:
         """Indented plan tree, one operator per line.
 
         Each line carries the operator's :meth:`describe` string plus, when
-        available, its estimated and last-observed actual row counts.
+        available, its estimated and last-observed actual row counts.  When
+        a :class:`~repro.obs.QueryTrace` from a run of this plan is passed,
+        each line also gets a ``time=`` token with the operator's *self*
+        wall time (child time excluded) — the ``EXPLAIN ANALYZE`` timing
+        column.
         """
         note = self.cardinality_note()
+        if trace is not None:
+            span = trace.span_for(self)
+            if span is not None:
+                timing = f"time={span.self_seconds * 1000.0:.3f}ms"
+                note = f"{note} {timing}" if note else timing
         suffix = f"  ({note})" if note else ""
         lines = [("  " * indent) + self.describe() + suffix]
         for child in self.children():
-            lines.append(child.explain(indent + 1))
+            lines.append(child.explain(indent + 1, trace))
         return "\n".join(lines)
 
     def count_operators(self) -> int:

@@ -1,0 +1,35 @@
+"""Observability: metrics registry, query tracing, slow-query log.
+
+Stdlib-only and import-free of the rest of the package so every layer —
+engine, buffer pool, WAL, locks, server — can record into it without
+cycles.  See ``docs/observability.md`` for the metric inventory and usage.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    render_prometheus,
+)
+from .slowlog import QueryObserver, SlowQueryEntry, SlowQueryLog
+from .trace import NULL_TRACER, NullTracer, QueryTrace, TraceSpan
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryObserver",
+    "QueryTrace",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "TraceSpan",
+    "default_registry",
+    "render_prometheus",
+]

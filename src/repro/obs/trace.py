@@ -1,0 +1,165 @@
+"""Per-query trace spans over the batched operator protocol.
+
+A :class:`QueryTrace` builds a span tree mirroring the physical plan: the
+engine calls :meth:`QueryTrace.enter` / :meth:`QueryTrace.exit` around each
+``open()`` / ``next_batch()`` / ``close()`` call, and the trace accumulates
+per-operator wall time (cumulative, with *self* time derived by subtracting
+child time), batch and row counts.  Spans are keyed by operator identity,
+so one span aggregates all calls into the same operator across the whole
+drain loop.
+
+The default tracer is :data:`NULL_TRACER`, a singleton whose ``enabled``
+flag is ``False`` — hot paths guard on ``if tracer.enabled:`` so a
+disabled run costs one attribute check per call, nothing more.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["NULL_TRACER", "NullTracer", "QueryTrace", "TraceSpan"]
+
+
+class TraceSpan:
+    """Aggregated timings for one physical operator within one execution."""
+
+    __slots__ = ("label", "parent", "children", "seconds", "rows", "batches",
+                 "calls", "_entered_at")
+
+    def __init__(self, label: str, parent: Optional["TraceSpan"] = None) -> None:
+        self.label = label
+        self.parent = parent
+        self.children: List["TraceSpan"] = []
+        self.seconds = 0.0       # cumulative wall time (includes children)
+        self.rows = 0
+        self.batches = 0
+        self.calls = 0
+        self._entered_at = 0.0
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time spent in this operator minus time in its children."""
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children))
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seconds": self.seconds,
+            "self_seconds": self.self_seconds,
+            "rows": self.rows,
+            "batches": self.batches,
+            "calls": self.calls,
+            "children": [c.as_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> List[str]:
+        line = (f"{'  ' * indent}{self.label} "
+                f"time={self.self_seconds * 1000.0:.3f}ms "
+                f"total={self.seconds * 1000.0:.3f}ms "
+                f"rows={self.rows} batches={self.batches}")
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+
+class QueryTrace:
+    """A span tree for one query execution.
+
+    Not thread-safe by design: one trace belongs to one execution, and a
+    plan's drain loop is already serialized by the plan's execution lock.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.root: Optional[TraceSpan] = None
+        self._spans: Dict[int, TraceSpan] = {}
+        self._stack: List[TraceSpan] = []
+        self.started_at = time.time()
+        self.total_seconds = 0.0
+
+    # -- span protocol (called from PhysicalOperator) -------------------------
+
+    def enter(self, op: object, label: str) -> TraceSpan:
+        """Start timing a call into ``op``; returns the span to pass to exit."""
+        key = id(op)
+        span = self._spans.get(key)
+        if span is None:
+            parent = self._stack[-1] if self._stack else None
+            span = TraceSpan(label, parent)
+            self._spans[key] = span
+            if parent is None and self.root is None:
+                self.root = span
+        self._stack.append(span)
+        span._entered_at = time.perf_counter()
+        return span
+
+    def exit(self, span: TraceSpan, rows: int = 0, batches: int = 0) -> None:
+        """Stop timing; only the outermost frame of a span accrues time
+        (operators recurse into themselves only via distinct objects, but a
+        guard keeps re-entrancy safe)."""
+        elapsed = time.perf_counter() - span._entered_at
+        self._stack.pop()
+        if span not in self._stack:  # guard against pathological re-entry
+            span.seconds += elapsed
+        span.rows += rows
+        span.batches += batches
+        span.calls += 1
+
+    # -- results ---------------------------------------------------------------
+
+    def span_for(self, op: object) -> Optional[TraceSpan]:
+        return self._spans.get(id(op))
+
+    def finish(self, total_seconds: float) -> None:
+        self.total_seconds = total_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "started_at": self.started_at,
+            "total_seconds": self.total_seconds,
+            "root": self.root.as_dict() if self.root is not None else None,
+        }
+
+    def render(self) -> str:
+        """The span tree as indented text, one operator per line."""
+        if self.root is None:
+            return "(empty trace)"
+        return "\n".join(self.root.render())
+
+    def summary(self) -> str:
+        """One-line digest for the slow-query log."""
+        if self.root is None:
+            return ""
+        top = sorted(self._spans.values(), key=lambda s: s.self_seconds,
+                     reverse=True)[:3]
+        parts = [f"{s.label.split('[')[0].strip()}={s.self_seconds * 1000.0:.2f}ms"
+                 for s in top]
+        return " ".join(parts)
+
+
+class NullTracer:
+    """No-op stand-in: ``enabled`` is False, so instrumented paths skip it."""
+
+    enabled = False
+    root = None
+
+    def enter(self, op: object, label: str):  # pragma: no cover - never hot
+        return None
+
+    def exit(self, span, rows: int = 0, batches: int = 0) -> None:  # pragma: no cover
+        pass
+
+    def span_for(self, op: object):
+        return None
+
+    def finish(self, total_seconds: float) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""Shared default tracer; ``context.tracer is NULL_TRACER`` when disabled."""

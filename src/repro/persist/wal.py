@@ -49,11 +49,21 @@ from pathlib import Path
 from typing import BinaryIO, List, Optional, Tuple
 
 from ..errors import PersistenceError
+from ..obs import default_registry
 
 WAL_MAGIC = b"RWAL\x00\x01\x00\x00"
 RECORD_MAGIC = b"WREC"
 _RECORD_HEADER = struct.Struct("<4sII")
 _EPOCH_LEN = struct.Struct("<I")
+
+# WAL handles come and go with snapshots/checkpoints, so their counters live
+# on the process-global registry rather than any single store's.
+_WAL_APPENDS = default_registry().counter(
+    "wal_appends_total", "WAL records appended (one per durable update).")
+_WAL_FSYNCS = default_registry().counter(
+    "wal_fsyncs_total", "fsync() calls issued by the WAL (appends + creates).")
+_WAL_BYTES = default_registry().counter(
+    "wal_bytes_written_total", "Bytes of record framing + payload appended to WALs.")
 
 
 class WriteAheadLog:
@@ -97,6 +107,7 @@ class WriteAheadLog:
                 os.fsync(sink.fileno())
         except OSError as exc:
             raise PersistenceError(f"cannot create WAL {wal.path}: {exc}") from exc
+        _WAL_FSYNCS.inc()
         wal._cached_texts = []
         wal._valid_end = len(WAL_MAGIC) + _EPOCH_LEN.size + len(epoch_bytes)
         return wal
@@ -172,6 +183,9 @@ class WriteAheadLog:
                 self._valid_end = sink.tell()
         except OSError as exc:
             raise PersistenceError(f"cannot append to WAL {self.path}: {exc}") from exc
+        _WAL_APPENDS.inc()
+        _WAL_FSYNCS.inc()
+        _WAL_BYTES.inc(_RECORD_HEADER.size + len(payload))
         self._next_seq = seq + 1
         if self._cached_texts is not None:
             self._cached_texts.append(text)

@@ -33,14 +33,22 @@ before query execution starts), which keeps both rules deadlock-free.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
 
 class ReadWriteLock:
-    """Phase-fair shared/exclusive lock with a reentrant write side."""
+    """Phase-fair shared/exclusive lock with a reentrant write side.
 
-    def __init__(self) -> None:
+    When a :class:`repro.obs.MetricsRegistry` is attached, every
+    acquisition's wait time is observed in a ``lock_wait_seconds`` histogram
+    labeled ``side=read`` / ``side=write`` — contention between the
+    snapshot-pinning read path and the single-writer path is the first
+    thing to look at when tail latency moves.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer: Optional[int] = None
@@ -52,6 +60,21 @@ class ReadWriteLock:
         waiting-reader count at every write release, drained as they enter.
         A writer cannot acquire while credits remain — that is the
         phase-fairness guarantee."""
+        self._wait_histogram = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Record acquisition waits into ``metrics`` (a ``MetricsRegistry``)."""
+        self._wait_histogram = metrics.histogram(
+            "lock_wait_seconds",
+            "Time spent waiting to acquire the store's read/write lock.",
+            labelnames=("side",))
+
+    def _observe_wait(self, side: str, started: float) -> None:
+        histogram = self._wait_histogram
+        if histogram is not None:
+            histogram.observe(time.perf_counter() - started, side=side)
 
     # -- introspection -------------------------------------------------------
 
@@ -76,6 +99,7 @@ class ReadWriteLock:
             # the exclusive side subsumes read access; nothing to track —
             # release_read is never called on this path (see read_locked)
             return
+        started = time.perf_counter()
         with self._cond:
             while True:
                 admitted = self._reader_credits > 0
@@ -83,6 +107,7 @@ class ReadWriteLock:
                     if admitted:
                         self._reader_credits -= 1
                     self._readers += 1
+                    self._observe_wait("read", started)
                     return
                 self._readers_waiting += 1
                 try:
@@ -117,6 +142,7 @@ class ReadWriteLock:
         the previous write release has passed through.
         """
         me = threading.get_ident()
+        started = time.perf_counter()
         with self._cond:
             if self._writer == me:
                 self._write_depth += 1
@@ -130,6 +156,7 @@ class ReadWriteLock:
                 self._writers_waiting -= 1
             self._writer = me
             self._write_depth = 1
+            self._observe_wait("write", started)
 
     def release_write(self) -> None:
         with self._cond:

@@ -16,9 +16,14 @@ server keeps answering from pinned snapshots).
 
 from __future__ import annotations
 
+import json
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional
 
+from ..obs import default_registry, render_prometheus
 from ..sparql import PlannerOptions, QueryResult
 from ..sql import SqlResult
 from .session import ReadSnapshot, StoreSession
@@ -28,11 +33,34 @@ class StoreService:
     """Thread-safe query/update facade over one :class:`~repro.core.RDFStore`.
 
     Safe to share between any number of threads; see ``docs/concurrency.md``
-    for the locking discipline.
+    for the locking discipline.  Every request bumps the store's
+    ``server_requests_total{kind=…}`` / ``server_errors_total{kind=…}``
+    counters and the ``server_inflight_requests`` gauge.
     """
 
     def __init__(self, store) -> None:
         self.store = store
+        registry = store.metrics_registry
+        self._requests = registry.counter(
+            "server_requests_total", "Requests accepted by the service facade.",
+            labelnames=("kind",))
+        self._errors = registry.counter(
+            "server_errors_total", "Requests that raised, by kind.",
+            labelnames=("kind",))
+        self._inflight = registry.gauge(
+            "server_inflight_requests", "Requests currently executing.")
+
+    @contextmanager
+    def _observed(self, kind: str):
+        self._requests.inc(kind=kind)
+        self._inflight.add(1)
+        try:
+            yield
+        except Exception:
+            self._errors.inc(kind=kind)
+            raise
+        finally:
+            self._inflight.add(-1)
 
     # -- reads (snapshot-isolated, lock-free execution) ------------------------
 
@@ -44,15 +72,17 @@ class StoreService:
         ``decode=True`` (decoded under the same snapshot, so a concurrent
         compaction can never skew the terms).
         """
-        with self.store.snapshot() as snapshot:
-            result = snapshot.sparql(text, options)
-            return snapshot.decode_rows(result) if decode else result
+        with self._observed("query"):
+            with self.store.snapshot() as snapshot:
+                result = snapshot.sparql(text, options)
+                return snapshot.decode_rows(result) if decode else result
 
     def sql(self, text: str, decode: bool = False):
         """Run one SQL query against the latest committed state."""
-        with self.store.snapshot() as snapshot:
-            result = snapshot.sql(text)
-            return snapshot.decode_rows(result) if decode else result
+        with self._observed("sql"):
+            with self.store.snapshot() as snapshot:
+                result = snapshot.sql(text)
+                return snapshot.decode_rows(result) if decode else result
 
     def snapshot(self) -> ReadSnapshot:
         """Pin an explicit snapshot (caller must ``close()`` it)."""
@@ -66,15 +96,18 @@ class StoreService:
 
     def update(self, text: str):
         """Execute one SPARQL Update request (serialized with other writers)."""
-        return self.store.update(text)
+        with self._observed("update"):
+            return self.store.update(text)
 
     def compact(self):
         """Fold pending writes into base storage; open snapshots keep their view."""
-        return self.store.compact()
+        with self._observed("compact"):
+            return self.store.compact()
 
     def checkpoint(self, path=None):
         """Compact + snapshot + truncate the WAL; open snapshots keep their view."""
-        return self.store.checkpoint(path)
+        with self._observed("checkpoint"):
+            return self.store.checkpoint(path)
 
     # -- introspection ----------------------------------------------------------
 
@@ -105,6 +138,8 @@ class QueryServer:
         self.workers = workers
         self._pool = ThreadPoolExecutor(max_workers=workers,
                                         thread_name_prefix="repro-query")
+        self._http: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
 
     # -- submission --------------------------------------------------------------
 
@@ -126,9 +161,69 @@ class QueryServer:
         """Queue a batch of queries; one future per text, submission order."""
         return [self.submit_query(text, options) for text in texts]
 
+    # -- observability -----------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The served store's metrics in Prometheus text format.
+
+        Merges the store's registry with the process-global one (WAL
+        counters); this is the body the ``/metrics`` endpoint serves.
+        """
+        return render_prometheus(self.service.store.metrics_registry,
+                                 default_registry())
+
+    def start_metrics_endpoint(self, host: str = "127.0.0.1",
+                               port: int = 0) -> int:
+        """Serve ``GET /metrics`` (Prometheus text) and ``GET /stats`` (JSON)
+        on a daemon thread; returns the bound port (``port=0`` picks a free
+        one).  Stopped by :meth:`shutdown`.
+        """
+        if self._http is not None:
+            raise RuntimeError("metrics endpoint already running")
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?")[0] == "/metrics":
+                    body = server.metrics_text().encode("utf-8")
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path.split("?")[0] == "/stats":
+                    body = json.dumps(server.service.stats()).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    self.send_error(404, "unknown path (try /metrics or /stats)")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format, *args) -> None:  # noqa: A002
+                pass  # scrapes every few seconds would flood stderr
+
+        self._http = ThreadingHTTPServer((host, port), _Handler)
+        self._http.daemon_threads = True
+        self._http_thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-metrics", daemon=True)
+        self._http_thread.start()
+        return self._http.server_address[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The metrics endpoint's bound port, or ``None`` when not running."""
+        return self._http.server_address[1] if self._http is not None else None
+
     # -- lifecycle ---------------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
+        if self._http is not None:
+            self._http.shutdown()
+            self._http.server_close()
+            self._http = None
+            if self._http_thread is not None:
+                self._http_thread.join(timeout=5)
+                self._http_thread = None
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "QueryServer":

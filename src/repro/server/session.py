@@ -30,6 +30,7 @@ path.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import ExecutionContext
@@ -100,16 +101,42 @@ class ReadSnapshot:
     # -- querying ------------------------------------------------------------
 
     def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
-        """Run a SPARQL query against the pinned state."""
+        """Run a SPARQL query against the pinned state.
+
+        Snapshot queries record into the owning store's metrics and
+        slow-query log exactly like direct :meth:`RDFStore.sparql` calls —
+        the observer is resolved through the store at call time, so it
+        keeps pointing at the live registry even across an
+        ``open(into=...)`` swap.
+        """
         self._require_open()
-        return self._engine.query(text, options)
+        observer = self._store._observer
+        started = time.perf_counter()
+        try:
+            result = self._engine.query(text, options)
+        except Exception:
+            observer.error("sparql")
+            raise
+        scheme = (options or PlannerOptions()).scheme
+        observer.observe("sparql", scheme, time.perf_counter() - started,
+                         len(result), text=text)
+        return result
 
     def sql(self, text: str) -> SqlResult:
         """Run a SQL query against the pinned state's emergent schema."""
         self._require_open()
         if self.catalog is None:
             raise StorageError("catalog not available; the store had no discovered schema")
-        return SqlEngine(self.context, self.catalog).query(text)
+        observer = self._store._observer
+        started = time.perf_counter()
+        try:
+            result = SqlEngine(self.context, self.catalog).query(text)
+        except Exception:
+            observer.error("sql")
+            raise
+        observer.observe("sql", "sql", time.perf_counter() - started,
+                         len(result), text=text)
+        return result
 
     def decode_rows(self, result) -> List[tuple]:
         """Decode a result's OIDs with the *pinned* dictionary.
@@ -149,6 +176,11 @@ class SnapshotRegistry:
         self._plan_cache: Optional[PlanCache] = None
         """Shared by every snapshot of the cached version pair; rotated
         together with the frozen view when the version moves on."""
+        self._retired_hits = 0
+        self._retired_misses = 0
+        self._retired_evictions = 0
+        """Lifetime counters folded in from rotated-out plan caches, so
+        :meth:`plan_cache_stats` stays monotonic across version changes."""
 
     def acquire(self, store) -> ReadSnapshot:
         """Pin the store's current state and hand out a snapshot.
@@ -163,6 +195,7 @@ class SnapshotRegistry:
         with self._lock:
             if self._frozen_key != key:
                 self._frozen_view = delta.freeze() if not delta.is_empty() else None
+                self._retire_cache_locked()
                 self._plan_cache = PlanCache(capacity=store.config.plan_cache_size)
                 self._frozen_key = key
             frozen = self._frozen_view
@@ -178,6 +211,7 @@ class SnapshotRegistry:
             cost_model=store.config.cost_model,
             delta=frozen,
             batch_size=store.config.batch_size,
+            metrics=store.metrics_registry,
         )
         return ReadSnapshot(store, self, generation=generation,
                             delta_version=version, context=context,
@@ -215,7 +249,28 @@ class SnapshotRegistry:
         with self._lock:
             self._frozen_key = None
             self._frozen_view = None
-            self._plan_cache = None
+            self._retire_cache_locked()
+
+    def _retire_cache_locked(self) -> None:
+        cache = self._plan_cache
+        if cache is not None:
+            stats = cache.stats()
+            self._retired_hits += stats["lifetime_hits"]
+            self._retired_misses += stats["lifetime_misses"]
+            self._retired_evictions += stats["lifetime_evictions"]
+        self._plan_cache = None
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Monotonic hit/miss/eviction totals across every per-version
+        cache this registry has ever handed out, plus the live entry count."""
+        with self._lock:
+            live = self._plan_cache.stats() if self._plan_cache is not None else {}
+            return {
+                "hits": self._retired_hits + live.get("lifetime_hits", 0),
+                "misses": self._retired_misses + live.get("lifetime_misses", 0),
+                "evictions": self._retired_evictions + live.get("lifetime_evictions", 0),
+                "entries": live.get("size", 0),
+            }
 
 
 class StoreSession:

@@ -61,13 +61,18 @@ class QueryResult:
     ``plan`` may be shared between results when the plan cache is active
     (repeating a query reuses the cached plan object), so its
     ``actual_rows`` annotations always describe the *most recent* execution,
-    not necessarily the one that produced this result's bindings.
+    not necessarily the one that produced this result's bindings.  Per-run
+    accounting that must not be clobbered by concurrent executions lives in
+    ``trace`` instead: when the query ran with tracing enabled it holds the
+    run's private :class:`repro.obs.QueryTrace` (operator wall times, rows,
+    batches), otherwise ``None``.
     """
 
     bindings: BindingTable
     cost: QueryCost
     plan: PhysicalOperator
     columns: List[str]
+    trace: Optional[object] = None
 
     def rows(self) -> List[tuple]:
         """OID/value rows in column order."""
@@ -135,13 +140,17 @@ class SparqlEngine:
             self.plan_cache.insert(key, (query, plan))
         return query, plan
 
-    def query(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
+    def query(self, text: str, options: Optional[PlannerOptions] = None,
+              tracer=None) -> QueryResult:
         """Parse, plan and execute a query.
 
         Args:
             text: the SPARQL query text.
             options: plan scheme / optimizer configuration (see
                 :class:`PlannerOptions`).
+            tracer: an optional :class:`repro.obs.QueryTrace`; when given,
+                the run records per-operator spans into it and the result's
+                ``trace`` field carries it back.
 
         Returns:
             A :class:`QueryResult` with OID bindings, measured cost and the
@@ -153,8 +162,10 @@ class SparqlEngine:
             ExecutionError: when the plan requires a store that is not built.
         """
         parsed, plan = self.prepare(text, options)
-        bindings, cost = execute_plan(plan, self.context)
-        return QueryResult(bindings=bindings, cost=cost, plan=plan, columns=parsed.output_names())
+        context = self.context if tracer is None else self.context.with_tracer(tracer)
+        bindings, cost = execute_plan(plan, context)
+        return QueryResult(bindings=bindings, cost=cost, plan=plan,
+                           columns=parsed.output_names(), trace=tracer)
 
     def query_parsed(self, query: SelectQuery,
                      options: Optional[PlannerOptions] = None) -> QueryResult:

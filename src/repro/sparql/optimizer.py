@@ -288,12 +288,19 @@ class PlanCache:
     ``optimized`` schemes yields different physical plans.
 
     The cache stores ``(SelectQuery, PhysicalOperator)`` pairs — a hit skips
-    parsing *and* planning.  Plans are stateless apart from their
-    ``actual_rows`` annotations, so re-executing a cached plan is safe; note
-    that results of repeated executions share one plan object, so
-    ``plan.actual_rows`` always reflects the *most recent* run.  The owning
-    store clears the cache whenever data is loaded or the physical
-    organization is rebuilt.
+    parsing *and* planning.  Plans carry no per-run result state — executions
+    are serialized per plan instance, and per-run row/time accounting lives
+    on each execution's private :class:`repro.obs.QueryTrace` — so
+    re-executing a cached plan, even from concurrent snapshots, is safe.
+    The only mutable annotation, ``plan.actual_rows``, is an interactive
+    ``EXPLAIN ANALYZE`` convenience reflecting the *most recent* run; do not
+    read it for a specific execution's row count (use the result's length
+    or its trace).  The owning store clears the cache whenever data is
+    loaded or the physical organization is rebuilt.
+
+    :meth:`clear` resets the per-organization counters; the ``lifetime_*``
+    counters survive clears, so monitoring sees cache effectiveness across
+    the whole store lifetime rather than only since the last write.
     """
 
     _QUOTED = re.compile(r'"(?:[^"\\]|\\.)*"')
@@ -309,6 +316,9 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.lifetime_hits = 0
+        self.lifetime_misses = 0
+        self.lifetime_evictions = 0
         self.generation = 0
         """Monotonic invalidation counter: bumped on every :meth:`clear`.
 
@@ -341,9 +351,11 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                self.lifetime_misses += 1
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            self.lifetime_hits += 1
             return entry
 
     def insert(self, key: tuple, value) -> None:
@@ -356,6 +368,7 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                self.lifetime_evictions += 1
 
     def clear(self) -> None:
         """Drop every entry, reset the hit/miss counters, bump the generation."""
@@ -367,7 +380,9 @@ class PlanCache:
             self.generation += 1
 
     def stats(self) -> Dict[str, int]:
-        """Counters for monitoring: size, capacity, hits, misses, evictions."""
+        """Counters for monitoring: size, capacity, hits, misses, evictions
+        (since the last clear) plus their clear-surviving ``lifetime_*``
+        variants and the invalidation generation."""
         with self._lock:
             return {
                 "size": len(self._entries),
@@ -375,6 +390,9 @@ class PlanCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "lifetime_hits": self.lifetime_hits,
+                "lifetime_misses": self.lifetime_misses,
+                "lifetime_evictions": self.lifetime_evictions,
                 "generation": self.generation,
             }
 

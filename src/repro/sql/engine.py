@@ -49,12 +49,17 @@ from .parser import ColumnRef, SelectItem, SqlConstant, SqlQuery, parse_sql
 
 @dataclass
 class SqlResult:
-    """Result of a SQL execution over the emergent schema."""
+    """Result of a SQL execution over the emergent schema.
+
+    ``trace`` carries the run's private :class:`repro.obs.QueryTrace` when
+    the query executed with tracing enabled, otherwise ``None``.
+    """
 
     columns: List[str]
     bindings: BindingTable
     cost: QueryCost
     plan: PhysicalOperator
+    trace: Optional[object] = None
 
     def rows(self) -> List[tuple]:
         arrays = [self.bindings.column(name) for name in self.columns]
@@ -87,13 +92,15 @@ class SqlEngine:
 
     # -- public API -----------------------------------------------------------------
 
-    def query(self, text: str) -> SqlResult:
+    def query(self, text: str, tracer=None) -> SqlResult:
         """Parse, plan and execute one SQL SELECT statement.
 
         Args:
             text: a SELECT over the catalog's emergent tables (joins over
                 discovered foreign keys, WHERE comparisons, GROUP BY,
                 ORDER BY, LIMIT).
+            tracer: an optional :class:`repro.obs.QueryTrace` recording
+                per-operator spans for this run.
 
         Returns:
             A :class:`SqlResult` with the output columns, OID bindings,
@@ -106,8 +113,10 @@ class SqlEngine:
         """
         parsed = parse_sql(text)
         plan, columns = self._plan(parsed)
-        bindings, cost = execute_plan(plan, self.context)
-        return SqlResult(columns=columns, bindings=bindings, cost=cost, plan=plan)
+        context = self.context if tracer is None else self.context.with_tracer(tracer)
+        bindings, cost = execute_plan(plan, context)
+        return SqlResult(columns=columns, bindings=bindings, cost=cost,
+                         plan=plan, trace=tracer)
 
     def explain(self, text: str) -> str:
         """Return the indented physical plan of a SQL statement (no run).

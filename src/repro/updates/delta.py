@@ -319,6 +319,16 @@ class DeltaStore:
         with self._pin_lock:
             return set(self._pins)
 
+    def deferred_reclaim_depth(self) -> int:
+        """Versions whose page reclamation is queued behind open pins.
+
+        A persistently nonzero depth under a read-heavy workload means
+        snapshot pins are outliving writes and superseded delta index pages
+        are accumulating in the buffer pool.
+        """
+        with self._pin_lock:
+            return len(self._deferred_drops)
+
     # -- frozen views (MVCC read epochs) -----------------------------------------------
 
     def freeze(self) -> "FrozenDelta":

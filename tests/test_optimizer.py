@@ -272,6 +272,8 @@ class TestPlanCache:
         assert stats["generation"] > generation_before  # clear() bumped it
         assert stats == {"size": 0, "capacity": 128, "hits": 0,
                          "misses": 0, "evictions": 0,
+                         "lifetime_hits": 1, "lifetime_misses": 1,
+                         "lifetime_evictions": 0,
                          "generation": stats["generation"]}
         result = store.sparql(query)  # replans against the new context
         assert store.plan_cache_stats()["misses"] == 1

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""metrics_smoke — end-to-end check of the observability layer.
+
+Builds a small store, starts a :class:`~repro.server.QueryServer` with its
+HTTP metrics endpoint, drives a mixed SPARQL / SQL / update workload through
+the server, then scrapes ``GET /metrics`` over real HTTP and verifies:
+
+  1. every sample line parses as Prometheus text format 0.0.4,
+  2. the core metric families are present (query latency histogram,
+     plan cache, buffer pool, WAL, lock wait, snapshot pins), and
+  3. the counters the workload must have bumped are nonzero.
+
+Exit status 0 when all checks pass; any failure raises (nonzero exit).
+CI runs this after the unit suite as a cheap wire-format regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import QueryServer, RDFStore, StoreConfig  # noqa: E402
+from repro.cs import DiscoveryConfig, GeneralizationConfig  # noqa: E402
+
+RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+EX = "http://example.org/"
+
+
+def book_nt(books: int = 30, authors: int = 5) -> str:
+    """A deterministic bibliographic graph (emerges Book and Person tables)."""
+    lines = []
+    for i in range(authors):
+        author = f"<{EX}author/{i}>"
+        lines.append(f"{author} <{RDF_TYPE}> <{EX}Person> .")
+        lines.append(f'{author} <{EX}name> "Author {i}" .')
+    for i in range(books):
+        book = f"<{EX}book/{i}>"
+        lines.append(f"{book} <{RDF_TYPE}> <{EX}Book> .")
+        lines.append(f"{book} <{EX}has_author> <{EX}author/{i % authors}> .")
+        lines.append(f'{book} <{EX}in_year> "{1990 + i % 15}"^^<{XSD_INT}> .')
+        lines.append(f'{book} <{EX}isbn_no> "isbn-{i:04d}" .')
+    return "\n".join(lines) + "\n"
+
+
+SPARQL = f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . }}"
+UPDATE = (f"INSERT DATA {{ <{EX}book/900> <{RDF_TYPE}> <{EX}Book> . "
+          f"<{EX}book/900> <{EX}has_author> <{EX}author/0> . "
+          f'<{EX}book/900> <{EX}in_year> "2013"^^<{XSD_INT}> . '
+          f'<{EX}book/900> <{EX}isbn_no> "isbn-0900" . }}')
+
+# one sample line: name, optional {labels}, value — format 0.0.4
+SAMPLE_RE = re.compile(
+    r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[A-Za-z0-9_]+=\"(?:[^\"\\]|\\.)*\""
+    r"(,[A-Za-z0-9_]+=\"(?:[^\"\\]|\\.)*\")*\})? "
+    r"(?:[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)$")
+
+MUST_BE_PRESENT = [
+    "repro_query_seconds_bucket",
+    "repro_queries_total",
+    "repro_plan_cache_hits_total",
+    "repro_plan_cache_misses_total",
+    "repro_buffer_pool_page_hits_total",
+    "repro_wal_appends_total",
+    "repro_lock_wait_seconds_bucket",
+    "repro_open_snapshots",
+    "repro_pinned_delta_versions",
+    "repro_server_requests_total",
+]
+
+MUST_BE_NONZERO = {
+    'repro_queries_total{frontend="sparql"': 2.0,
+    'repro_queries_total{frontend="sql"': 1.0,
+    'repro_server_requests_total{kind="query"}': 2.0,
+    'repro_server_requests_total{kind="sql"}': 1.0,
+    'repro_server_requests_total{kind="update"}': 1.0,
+    "repro_updates_total": 1.0,
+    "repro_triples_inserted_total": 4.0,
+    "repro_wal_appends_total": 1.0,
+    "repro_buffer_pool_page_hits_total": 1.0,
+    "repro_query_seconds_count": 3.0,
+}
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text into ``{sample_line_lhs: value}``; raise on
+    any line that is neither a comment nor a well-formed sample."""
+    samples = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        if not SAMPLE_RE.match(line):
+            raise AssertionError(f"unparseable exposition line: {line!r}")
+        lhs, value = line.rsplit(" ", 1)
+        samples[lhs] = float(value)
+    return samples
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        config = StoreConfig(discovery=DiscoveryConfig(
+            generalization=GeneralizationConfig(min_support=3)))
+        store = RDFStore.build(book_nt(), config=config)
+        store.save(Path(tmp) / "db")  # attach a WAL so updates are logged
+
+        with QueryServer(store, workers=2) as server:
+            port = server.start_metrics_endpoint()
+            # mixed workload: 2 SPARQL (one repeated → plan-cache hit),
+            # 1 SQL, 1 WAL-logged update
+            server.submit_query(SPARQL).result()
+            server.submit_query(SPARQL).result()
+            server.submit_sql("SELECT isbn_no FROM Book ORDER BY isbn_no").result()
+            server.submit_update(UPDATE).result()
+
+            url = f"http://127.0.0.1:{port}"
+            with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+                assert resp.status == 200, resp.status
+                ctype = resp.headers["Content-Type"]
+                assert ctype.startswith("text/plain"), ctype
+                body = resp.read().decode("utf-8")
+            with urllib.request.urlopen(f"{url}/stats", timeout=10) as resp:
+                stats = json.load(resp)
+            assert stats["pending_inserts"] >= 4, stats
+
+        samples = parse_exposition(body)
+        print(f"scraped {len(samples)} samples from /metrics on port {port}")
+
+        for family in MUST_BE_PRESENT:
+            assert any(lhs == family or lhs.startswith(family + "{")
+                       for lhs in samples), f"metric family missing: {family}"
+
+        for prefix, floor in MUST_BE_NONZERO.items():
+            total = sum(v for lhs, v in samples.items()
+                        if lhs == prefix or lhs.startswith(prefix))
+            assert total >= floor, \
+                f"{prefix}: expected >= {floor}, scraped {total}"
+
+        hits = sum(v for lhs, v in samples.items()
+                   if lhs.startswith("repro_plan_cache_hits_total"))
+        assert hits >= 1, f"repeated query produced no plan-cache hit ({hits})"
+
+    print("metrics smoke OK: exposition parses, core families present, "
+          "workload counters nonzero")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

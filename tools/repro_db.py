@@ -20,6 +20,10 @@ Build a database from RDF, reopen it, query it, inspect it::
     # manifest + schema + buffer statistics
     python tools/repro_db.py info mydb/
 
+    # live metrics: storage, buffer pool, plan cache, Prometheus exposition
+    python tools/repro_db.py stats mydb/
+    python tools/repro_db.py stats mydb/ --prometheus
+
 Exit status is 0 on success, 1 on any repro error (bad input, corrupt
 database, unsupported query), with the message on stderr.
 """
@@ -35,7 +39,13 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro import RDFStore, ReproError, WriteAheadLog  # noqa: E402
+from repro import (  # noqa: E402
+    RDFStore,
+    ReproError,
+    WriteAheadLog,
+    default_registry,
+    render_prometheus,
+)
 from repro.persist import MANIFEST_FILE, SnapshotReader  # noqa: E402
 from repro.persist.snapshot import wal_path  # noqa: E402
 from repro.rio import load_graph  # noqa: E402
@@ -123,6 +133,49 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    if args.query:
+        store.sparql(args.query)  # warm the metrics with one real query
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(store.metrics_registry,
+                                           default_registry()))
+        return 0
+    metrics = store.metrics()
+    if args.json:
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+        return 0
+    summary = store.storage_summary()
+    print(f"database:      {args.database}")
+    print(f"triples:       {summary['triples']} ({summary['terms']} terms, "
+          f"clustered={summary['clustered']})")
+    pool = store.buffer_pool_stats()
+    print(f"buffer pool:   {pool['cached_pages']} pages resident "
+          f"({pool['resident_bytes'] / 1024:.0f} KiB), "
+          f"{pool['page_hits']} hits / {pool['page_reads']} reads, "
+          f"{pool['evictions']} evictions")
+    cache = store.plan_cache.stats()
+    print(f"plan cache:    {cache['size']} entries, "
+          f"lifetime {cache['lifetime_hits']} hits / "
+          f"{cache['lifetime_misses']} misses / "
+          f"{cache['lifetime_evictions']} evictions")
+    print(f"delta:         {store.delta.insert_count()} pending inserts, "
+          f"{store.delta.tombstone_count()} tombstones, "
+          f"version {store.delta.version}")
+    slow = store.slow_queries()
+    print(f"slow queries:  {len(slow)} logged "
+          f"(threshold {store.config.slow_query_seconds * 1000:.0f}ms)")
+    for entry in slow[:5]:
+        print(f"  {entry.seconds * 1000:8.1f}ms  [{entry.frontend}] {entry.text[:70]}")
+    print(f"metrics:       {len(metrics)} samples "
+          f"(use --prometheus for the exposition text)")
+    for key in sorted(metrics):
+        if key.split("{")[0].endswith(("_p50", "_p95", "_p99", "_max", "_sum")):
+            continue  # the human view keeps counts; percentiles stay in --json
+        print(f"  {key} = {metrics[key]:g}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro_db", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -160,6 +213,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_info.add_argument("database")
     p_info.add_argument("--json", action="store_true", help="also dump the raw manifest")
     p_info.set_defaults(func=cmd_info)
+
+    p_stats = sub.add_parser(
+        "stats", help="open a database and print its observability metrics")
+    p_stats.add_argument("database")
+    p_stats.add_argument("--query", default=None, metavar="SPARQL",
+                         help="run one query first so latency metrics are live")
+    p_stats.add_argument("--prometheus", action="store_true",
+                         help="print the Prometheus text exposition instead")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the flat metrics dict as JSON")
+    p_stats.set_defaults(func=cmd_stats)
 
     return parser
 
