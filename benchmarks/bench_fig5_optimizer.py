@@ -133,46 +133,58 @@ def test_batched_vs_row_execution(table1_harness, results_dir):
 
 
 def test_trace_overhead(table1_harness, results_dir):
-    """Per-query tracing is strictly opt-in: report its cost, bound its blast.
+    """Observation is strictly opt-in: report its cost, bound its blast.
 
-    The same hot micro-query runs with tracing off (the default
-    ``NULL_TRACER`` path — one ``tracer.enabled`` attribute check per
-    operator call) and with ``trace=True`` (span enter/exit around every
-    ``open``/``next_batch``/``close``).  The report records both medians
-    and the relative overhead; the assertion only bounds the *traced* run
-    (5x) — the untraced ≤5% guard lives in ``tests/test_observability.py``
-    where it compares against a tracer-free drain of the same plan.
+    The same hot micro-query runs four ways:
+
+    * *bare* — straight through the SPARQL engine, no registry, no tracer
+      (``NULL_ACTIVE_QUERY`` + ``NULL_TRACER``: two attribute checks per
+      operator call);
+    * *registry* — ``store.sparql()`` untraced, which now also registers
+      every run in the active-query registry (begin/finish bookkeeping
+      plus per-batch row accounting);
+    * *traced* — ``store.sparql(trace=True)``, span enter/exit around
+      every ``open``/``next_batch``/``close``.
+
+    The report records all medians and relative overheads; the assertion
+    only bounds the *traced* run (5x vs the registry path) — the ≤5%
+    registry-vs-bare guard lives in ``tests/test_observability.py``.
     """
     smoke = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
     store = table1_harness.store("Clustered")
     query = star_lookup_sparql()
     options = PlannerOptions(scheme=OPTIMIZED_SCHEME)
     store.sparql(query, options)  # warm: plan cached, columns resident
+    engine = store.sparql_engine()
 
     repeats = 10 if smoke else 30
 
-    def best_mean_seconds(trace: bool) -> float:
+    def best_mean_seconds(run) -> float:
         best = None
         for _ in range(5):
             started = time.perf_counter()
             for _ in range(repeats):
-                store.sparql(query, options, trace=trace)
+                run()
             mean = (time.perf_counter() - started) / repeats
             best = mean if best is None else min(best, mean)
         return best
 
-    untraced = best_mean_seconds(False)
-    traced = best_mean_seconds(True)
-    overhead = traced / max(untraced, 1e-12) - 1.0
-    report = (f"Figure 5 addendum — tracing overhead on star_lookup "
+    bare = best_mean_seconds(lambda: engine.query(query, options))
+    registry = best_mean_seconds(lambda: store.sparql(query, options))
+    traced = best_mean_seconds(lambda: store.sparql(query, options, trace=True))
+    registry_overhead = registry / max(bare, 1e-12) - 1.0
+    traced_overhead = traced / max(registry, 1e-12) - 1.0
+    report = (f"Figure 5 addendum — observation overhead on star_lookup "
               f"(best mean of 5x{repeats} hot runs)\n"
-              f"  untraced: {untraced * 1e6:9.1f} us/query\n"
-              f"  traced:   {traced * 1e6:9.1f} us/query\n"
-              f"  overhead: {overhead * 100:+6.1f}%\n")
+              f"  bare engine:        {bare * 1e6:9.1f} us/query\n"
+              f"  registry (store):   {registry * 1e6:9.1f} us/query  "
+              f"({registry_overhead * 100:+6.1f}% vs bare)\n"
+              f"  traced:             {traced * 1e6:9.1f} us/query  "
+              f"({traced_overhead * 100:+6.1f}% vs registry)\n")
     (results_dir / "fig5_trace_overhead.txt").write_text(report)
     assert store.last_trace() is not None and store.last_trace().root is not None
-    assert traced <= untraced * 5.0, \
-        f"tracing costs {overhead * 100:.0f}% — span bookkeeping got too heavy"
+    assert traced <= registry * 5.0, \
+        f"tracing costs {traced_overhead * 100:.0f}% — span bookkeeping got too heavy"
 
 
 def test_plan_cache_speedup(table1_harness, results_dir):

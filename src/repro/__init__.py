@@ -26,12 +26,15 @@ from .errors import (
     PendingUpdatesError,
     PersistenceError,
     PlanError,
+    QueryCancelledError,
     ReproError,
     SchemaError,
     StorageError,
 )
 from .model import BNode, Graph, IRI, Literal, Triple
 from .obs import (
+    ActiveQueryRegistry,
+    EventLog,
     MetricsRegistry,
     QueryTrace,
     SlowQueryLog,
@@ -52,6 +55,7 @@ from .updates import CompactionReport, DeltaStore, UpdateJournal, UpdateResult
 __version__ = "0.1.0"
 
 __all__ = [
+    "ActiveQueryRegistry",
     "BNode",
     "BenchmarkError",
     "CheckpointReport",
@@ -61,6 +65,7 @@ __all__ = [
     "DictionaryError",
     "DiscoveryConfig",
     "EmergentSchema",
+    "EventLog",
     "ExecutionError",
     "GeneralizationConfig",
     "Graph",
@@ -74,6 +79,7 @@ __all__ = [
     "PlanCache",
     "PlanError",
     "PlannerOptions",
+    "QueryCancelledError",
     "QueryServer",
     "QueryTrace",
     "RDFSCAN_SCHEME",

@@ -56,9 +56,17 @@ import numpy as np
 from ..columnar import BufferPool, CostModel
 from ..cs import DiscoveryConfig, EmergentSchema, discover_schema
 from ..engine import ExecutionContext, execute_plan
-from ..errors import PendingUpdatesError, PersistenceError, ReproError, StorageError
+from ..errors import (
+    PendingUpdatesError,
+    PersistenceError,
+    QueryCancelledError,
+    ReproError,
+    StorageError,
+)
 from ..model import Graph, IRI, TermDictionary, Triple
 from ..obs import (
+    ActiveQueryRegistry,
+    EventLog,
     MetricsRegistry,
     QueryObserver,
     QueryTrace,
@@ -113,6 +121,13 @@ class StoreConfig:
             store's slow-query log (see :meth:`RDFStore.slow_queries`).
         slow_query_log_size: ring-buffer capacity of the slow-query log
             (oldest entries are evicted first).
+        event_log_size: in-memory capacity of the structured event log
+            (see :meth:`RDFStore.events`; oldest events evicted first).
+        event_log_path: optional file the event log also appends to, one
+            JSON line per event (``None`` keeps events in memory only).
+        event_log_max_bytes: rotation threshold of the event-log file —
+            crossing it renames the file to ``<path>.1`` and starts fresh,
+            bounding disk use at roughly twice this value.
     """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -127,6 +142,9 @@ class StoreConfig:
         default_factory=lambda: int(os.environ.get("REPRO_BATCH_SIZE", "1024")))
     slow_query_seconds: float = 0.25
     slow_query_log_size: int = 128
+    event_log_size: int = 1024
+    event_log_path: Optional[Path | str] = None
+    event_log_max_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         """Validate eagerly so misconfiguration fails at construction, not
@@ -155,6 +173,14 @@ class StoreConfig:
             raise StorageError(
                 f"slow_query_log_size must be a positive integer, "
                 f"got {self.slow_query_log_size!r}")
+        if not isinstance(self.event_log_size, int) or self.event_log_size < 1:
+            raise StorageError(
+                f"event_log_size must be a positive integer, "
+                f"got {self.event_log_size!r}")
+        if not isinstance(self.event_log_max_bytes, int) or self.event_log_max_bytes < 1:
+            raise StorageError(
+                f"event_log_max_bytes must be a positive integer, "
+                f"got {self.event_log_max_bytes!r}")
 
 
 @dataclass(frozen=True)
@@ -207,6 +233,17 @@ class RDFStore:
             threshold_seconds=self.config.slow_query_seconds,
             capacity=self.config.slow_query_log_size)
         self._observer = QueryObserver(self.metrics_registry, self.slow_query_log)
+        self.event_log = EventLog(capacity=self.config.event_log_size,
+                                  path=self.config.event_log_path,
+                                  max_bytes=self.config.event_log_max_bytes)
+        """Structured lifecycle events (query start/finish/cancel, updates,
+        compactions, checkpoints, WAL replay).  Store-lifetime, like the
+        metrics registry."""
+        self.query_registry = ActiveQueryRegistry(events=self.event_log,
+                                                  metrics=self.metrics_registry)
+        """Live registry of in-flight queries; assigns ids, carries the
+        cooperative-cancellation flags.  Store-lifetime — ids never reset
+        under a running ``top`` view."""
         self._last_trace: Optional[QueryTrace] = None
         self._rwlock = ReadWriteLock(metrics=self.metrics_registry)
         self._snapshots = SnapshotRegistry()
@@ -291,6 +328,9 @@ class RDFStore:
         registry.gauge("slow_queries_logged",
                        "Entries currently held by the slow-query log.",
                        fn=lambda: len(self.slow_query_log))
+        registry.gauge("event_log_entries",
+                       "Events currently buffered by the structured event log.",
+                       fn=lambda: len(self.event_log))
 
     # -- construction pipeline ----------------------------------------------------
 
@@ -671,6 +711,9 @@ class RDFStore:
                              "Triples inserted by updates.").inc(result.inserted)
             registry.counter("triples_deleted_total",
                              "Triples deleted by updates.").inc(result.deleted)
+            if result.changed and not self.journal.is_replaying:
+                self.event_log.emit("update", inserted=result.inserted,
+                                    deleted=result.deleted)
             return result
 
     def _preserve_pinned_state(self) -> None:
@@ -785,6 +828,10 @@ class RDFStore:
                 self.metrics_registry.counter(
                     "compactions_total", "Delta-into-base compactions applied.").inc()
                 self._compaction_seconds.observe(time.perf_counter() - started)
+                self.event_log.emit("compaction",
+                                    merged_inserts=report.merged_inserts,
+                                    applied_deletes=report.applied_deletes,
+                                    seconds=time.perf_counter() - started)
             return report
 
     # -- persistence --------------------------------------------------------------------
@@ -908,6 +955,8 @@ class RDFStore:
                 "wal_replayed_records_total",
                 "WAL records re-applied while opening databases.").inc(replayed)
         store.db_path = Path(path)
+        if replayed and into is None:
+            store.event_log.emit("wal_replay", path=str(path), records=replayed)
         if into is not None:
             # swap under the served store's writer lock: snapshot acquisition
             # takes the read side, so no pin can interleave with the swap.
@@ -934,6 +983,8 @@ class RDFStore:
             new_state["metrics_registry"] = into.metrics_registry
             new_state["slow_query_log"] = into.slow_query_log
             new_state["_observer"] = into._observer
+            new_state["event_log"] = into.event_log
+            new_state["query_registry"] = into.query_registry
             new_state["_last_trace"] = into._last_trace
             new_state["_update_seconds"] = into._update_seconds
             new_state["_compaction_seconds"] = into._compaction_seconds
@@ -951,6 +1002,11 @@ class RDFStore:
                 # key; invalidating under the write lock closes the window
                 # in which a draining reader could re-cache the old state.
                 registry.invalidate_cache()
+            if replayed:
+                # emitted on the surviving event log, after the swap — the
+                # assembly store's log is discarded with its registry
+                into.event_log.emit("wal_replay", path=str(path),
+                                    records=replayed)
             return into
         return store
 
@@ -986,6 +1042,9 @@ class RDFStore:
             self.metrics_registry.counter(
                 "checkpoints_total", "Checkpoints (compact + snapshot + WAL reset).").inc()
             self._checkpoint_seconds.observe(time.perf_counter() - started)
+            self.event_log.emit("checkpoint", path=str(target),
+                                triples=snapshot.triples,
+                                seconds=time.perf_counter() - started)
             return CheckpointReport(compaction=compaction, snapshot=snapshot)
 
     def _detach_database(self) -> None:
@@ -1041,16 +1100,30 @@ class RDFStore:
             ParseError: when the query text is not in the supported subset.
             PlanError: when the options name an unknown plan scheme.
             ExecutionError: when the plan needs a store that is not built.
+            QueryCancelledError: when the query was cancelled mid-run via
+                :meth:`cancel` (see :meth:`active_queries`).
         """
         tracer = QueryTrace() if trace else None
+        scheme = (options or PlannerOptions()).scheme
+        active = self.query_registry.begin(text, "sparql", scheme, pool=self.pool)
         started = time.perf_counter()
         try:
-            result = self.sparql_engine().query(text, options, tracer=tracer)
-        except Exception:
+            result = self.sparql_engine().query(text, options, tracer=tracer,
+                                                active=active)
+        except QueryCancelledError:
+            # a cancel is an operator action, not a query failure: it gets
+            # its own lifecycle status and does not bump query_errors_total
+            self.query_registry.finish(
+                active, status="cancelled",
+                seconds=time.perf_counter() - started)
+            raise
+        except Exception as exc:
+            self.query_registry.finish(
+                active, seconds=time.perf_counter() - started, error=exc)
             self._observer.error("sparql")
             raise
         elapsed = time.perf_counter() - started
-        scheme = (options or PlannerOptions()).scheme
+        self.query_registry.finish(active, rows=len(result), seconds=elapsed)
         self._observer.observe("sparql", scheme, elapsed, len(result),
                                text=text, trace=tracer)
         if tracer is not None:
@@ -1140,6 +1213,51 @@ class RDFStore:
         """
         return self.slow_query_log.entries()
 
+    def active_queries(self) -> List[Dict[str, object]]:
+        """Listing of every query currently executing on this store.
+
+        One dict per in-flight query (oldest first) with its registry
+        ``id``, frontend, plan scheme, normalized text, start time, elapsed
+        seconds, rows/batches produced so far, the operator that most
+        recently emitted, an estimated completion fraction (``progress``,
+        ``None`` when the plan carries no cardinality estimates), this
+        run's buffer-pool delta, and whether cancellation was requested.
+        Covers direct :meth:`sparql`/:meth:`sql` calls and queries running
+        through MVCC read snapshots / server sessions alike.
+        """
+        return self.query_registry.active()
+
+    def cancel(self, query_id: int, reason: str = "") -> bool:
+        """Request cooperative cancellation of a running query.
+
+        The executing thread observes the request at its next batch
+        boundary and unwinds with
+        :class:`~repro.errors.QueryCancelledError` — snapshot pins and
+        plan locks are released by the same paths a successful run uses.
+
+        Args:
+            query_id: the id shown by :meth:`active_queries` / ``/queries``.
+            reason: optional operator-supplied note, recorded in the event
+                log and the error message.
+
+        Returns:
+            ``True`` when the id was active (the query will stop within
+            one batch); ``False`` for unknown or already-finished ids —
+            a safe no-op.
+        """
+        return self.query_registry.cancel(query_id, reason=reason)
+
+    def events(self, type: Optional[str] = None,
+               limit: Optional[int] = None) -> List[Dict[str, object]]:
+        """Newest-first structured lifecycle events (see ``config.event_log_*``).
+
+        Query starts/finishes/cancellations/errors, committed updates,
+        compactions, checkpoints and WAL replays; each record carries a
+        monotonic ``seq``, a unix ``ts`` and a ``type`` plus type-specific
+        fields — see ``docs/observability.md`` for the schema.
+        """
+        return self.event_log.events(type=type, limit=limit)
+
     def last_trace(self) -> Optional[QueryTrace]:
         """The most recent traced run's :class:`~repro.obs.QueryTrace`.
 
@@ -1163,16 +1281,27 @@ class RDFStore:
         Raises:
             ParseError: when the SQL text cannot be parsed.
             SchemaError: when the query references unknown tables/columns.
+            QueryCancelledError: when the query was cancelled mid-run via
+                :meth:`cancel`.
         """
         tracer = QueryTrace() if trace else None
+        active = self.query_registry.begin(text, "sql", "sql", pool=self.pool)
         started = time.perf_counter()
         try:
             result = SqlEngine(self.context(), self.require_catalog()).query(
-                text, tracer=tracer)
-        except Exception:
+                text, tracer=tracer, active=active)
+        except QueryCancelledError:
+            self.query_registry.finish(
+                active, status="cancelled",
+                seconds=time.perf_counter() - started)
+            raise
+        except Exception as exc:
+            self.query_registry.finish(
+                active, seconds=time.perf_counter() - started, error=exc)
             self._observer.error("sql")
             raise
         elapsed = time.perf_counter() - started
+        self.query_registry.finish(active, rows=len(result), seconds=elapsed)
         self._observer.observe("sql", "sql", elapsed, len(result),
                                text=text, trace=tracer)
         if tracer is not None:

@@ -11,7 +11,7 @@ from ..columnar import BufferPool, CostModel, CostTracker
 from ..cs import EmergentSchema
 from ..errors import ExecutionError
 from ..model import TermDictionary
-from ..obs import NULL_TRACER
+from ..obs import NULL_ACTIVE_QUERY, NULL_TRACER
 from ..storage import ClusteredStore, ExhaustiveIndexStore
 from .values import ValueDecoder, ValueEncoder
 
@@ -47,6 +47,11 @@ class ExecutionContext:
     metrics: Optional[object] = None
     """Optional :class:`repro.obs.MetricsRegistry` the executor feeds
     batch/row throughput counters into (``None`` disables them)."""
+    active_query: object = NULL_ACTIVE_QUERY
+    """Live registry handle (:class:`repro.obs.ActiveQuery`) for this run —
+    carries the cooperative-cancellation flag and per-operator row counts;
+    the shared no-op :data:`repro.obs.NULL_ACTIVE_QUERY` by default, so an
+    unregistered run pays two attribute checks per operator call."""
     encoder: ValueEncoder = field(init=False)
     decoder: ValueDecoder = field(init=False)
 
@@ -63,6 +68,22 @@ class ExecutionContext:
         """
         clone = copy.copy(self)
         clone.tracer = tracer
+        return clone
+
+    def with_observation(self, tracer=None, active=None) -> "ExecutionContext":
+        """A shallow copy with a tracer and/or active-query handle attached.
+
+        Like :meth:`with_tracer`, the clone shares every store reference
+        with the original; only the observation slots differ.  ``None``
+        leaves the corresponding slot at the original's value.
+        """
+        if tracer is None and active is None:
+            return self
+        clone = copy.copy(self)
+        if tracer is not None:
+            clone.tracer = tracer
+        if active is not None:
+            clone.active_query = active
         return clone
 
     @property

@@ -227,7 +227,17 @@ class PhysicalOperator:
             self._open(context)
 
     def next_batch(self, context) -> Optional[Batch]:
-        """The next output batch, or ``None`` when the stream is exhausted."""
+        """The next output batch, or ``None`` when the stream is exhausted.
+
+        Cooperative cancellation rides this boundary: when the run's
+        :class:`~repro.obs.ActiveQuery` handle has ``cancel_requested``
+        set, the call raises :class:`~repro.errors.QueryCancelledError`
+        instead of producing — every operator level checks, so a cancel
+        lands within one batch regardless of plan depth.
+        """
+        active = context.active_query
+        if active.cancel_requested:
+            active.raise_cancelled()
         tracer = context.tracer
         if tracer.enabled:
             span = tracer.enter(self, self.describe())
@@ -243,6 +253,8 @@ class PhysicalOperator:
             batch = self._next_batch(context)
         if batch is not None:
             self._rows_emitted += batch.live_count()
+            if active.enabled:
+                active.on_batch(self, batch.live_count())
         return batch
 
     def close(self, context) -> None:

@@ -73,5 +73,25 @@ class ExecutionError(ReproError):
     """Raised when a physical plan fails during execution."""
 
 
+class QueryCancelledError(ExecutionError):
+    """Raised inside an executing query after a cancellation request.
+
+    Cancellation is cooperative: ``store.cancel(query_id)`` sets a flag on
+    the query's registry handle, and the executing thread raises this at
+    its next batch boundary.  The error unwinds through the operator
+    tree's ``close()`` cascade and the MVCC snapshot context managers, so
+    no pins or plan locks are leaked.
+
+    Attributes
+    ----------
+    query_id:
+        The registry id of the cancelled query, when known.
+    """
+
+    def __init__(self, message: str, query_id: int | None = None):
+        self.query_id = query_id
+        super().__init__(message)
+
+
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness for invalid configurations."""

@@ -1,10 +1,12 @@
-"""Observability: metrics registry, query tracing, slow-query log.
+"""Observability: metrics registry, query tracing, slow-query log,
+structured event log, and the live active-query registry.
 
-Stdlib-only and import-free of the rest of the package so every layer —
+Depends only on the stdlib and :mod:`repro.errors` so every layer —
 engine, buffer pool, WAL, locks, server — can record into it without
 cycles.  See ``docs/observability.md`` for the metric inventory and usage.
 """
 
+from .events import EventLog
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -14,16 +16,27 @@ from .metrics import (
     default_registry,
     render_prometheus,
 )
+from .queries import (
+    NULL_ACTIVE_QUERY,
+    ActiveQuery,
+    ActiveQueryRegistry,
+    NullActiveQuery,
+)
 from .slowlog import QueryObserver, SlowQueryEntry, SlowQueryLog
 from .trace import NULL_TRACER, NullTracer, QueryTrace, TraceSpan
 
 __all__ = [
+    "ActiveQuery",
+    "ActiveQueryRegistry",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_ACTIVE_QUERY",
     "NULL_TRACER",
+    "NullActiveQuery",
     "NullTracer",
     "QueryObserver",
     "QueryTrace",

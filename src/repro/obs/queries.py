@@ -1,0 +1,305 @@
+"""Live query management: the active-query registry and cooperative
+cancellation.
+
+Every query a store executes is registered here for its lifetime: the
+registry assigns a stable integer id and tracks what an operator of a
+multi-tenant server needs to see — who is running what, under which plan
+scheme, since when, how far along it is, and whether someone asked it to
+stop.  The bookkeeping rides the batched operator protocol: the engine
+attaches the :class:`ActiveQuery` handle to the execution context
+(``context.active_query``), and ``PhysicalOperator.next_batch`` calls
+:meth:`ActiveQuery.on_batch` once per emitted batch — the same seam the
+tracer uses, so a disabled run (:data:`NULL_ACTIVE_QUERY`) costs two
+attribute checks per operator call.
+
+Cancellation is *cooperative*: :meth:`ActiveQueryRegistry.cancel` merely
+sets a flag; the executing thread observes it at its next ``next_batch``
+boundary and raises :class:`~repro.errors.QueryCancelledError`, which
+unwinds through the operator tree's ``close()`` cascade (releasing per-plan
+state), through the engine, and out of the store's query funnel — MVCC
+snapshot pins are released by the same context managers that would release
+them on success.  A query between batch boundaries (inside a numpy kernel)
+finishes that batch first; cancellation latency is therefore bounded by one
+batch, never by the whole query.
+
+Progress is estimated from the optimizer's own cardinality annotations:
+each operator's live row count is compared against its ``estimated_rows``,
+and the completion fraction is the estimate-weighted sum, clamped per
+operator and kept monotonically non-decreasing (an estimate may be wrong;
+the bar must still only move forward).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..errors import QueryCancelledError
+
+__all__ = ["ActiveQuery", "ActiveQueryRegistry", "NULL_ACTIVE_QUERY",
+           "NullActiveQuery"]
+
+
+def _normalize(text: str) -> str:
+    return " ".join(text.split())
+
+
+class ActiveQuery:
+    """One registered, currently-executing query.
+
+    The executing thread is the only mutator of the per-batch fields;
+    listing threads read them racily (a snapshot may be one batch stale),
+    which is exactly the consistency a ``top`` view needs.  The
+    ``cancel_requested`` flag is written by the cancelling thread and read
+    by the executing thread — a plain attribute store/load, safe under the
+    GIL and checked once per ``next_batch``.
+    """
+
+    enabled = True
+
+    __slots__ = ("query_id", "text", "frontend", "scheme", "source",
+                 "started_at", "cancel_requested", "cancel_reason",
+                 "rows", "batches", "_started_perf", "_pool", "_buffers_mark",
+                 "_rows_by_op", "_est_by_op", "_est_total", "_root_key",
+                 "_current_op", "_progress_peak")
+
+    def __init__(self, query_id: int, text: str, frontend: str, scheme: str,
+                 source: str = "store", pool=None) -> None:
+        self.query_id = query_id
+        self.text = _normalize(text)
+        self.frontend = frontend
+        self.scheme = scheme
+        self.source = source
+        self.started_at = time.time()
+        self._started_perf = time.perf_counter()
+        self.cancel_requested = False
+        self.cancel_reason = ""
+        self.rows = 0
+        self.batches = 0
+        self._pool = pool
+        self._buffers_mark = pool.stats() if pool is not None else None
+        self._rows_by_op: Dict[int, int] = {}
+        self._est_by_op: Dict[int, float] = {}
+        self._est_total = 0.0
+        self._root_key: Optional[int] = None
+        self._current_op = None
+        self._progress_peak = 0.0
+
+    # -- engine-side hooks (hot path) ------------------------------------------
+
+    def attach_plan(self, plan) -> None:
+        """Capture the plan's per-operator cardinality estimates.
+
+        Called once after planning (cached plans carry their annotations),
+        before execution starts; the estimate map is immutable afterwards,
+        so listing threads can iterate it without locking.
+        """
+        estimates: Dict[int, float] = {}
+        stack = [plan]
+        while stack:
+            op = stack.pop()
+            estimated = op.estimated_rows
+            if estimated is not None and estimated > 0:
+                estimates[id(op)] = float(estimated)
+            stack.extend(op.children())
+        self._est_by_op = estimates
+        self._est_total = sum(estimates.values())
+        self._root_key = id(plan)
+
+    def on_batch(self, op, rows: int) -> None:
+        """Account one emitted batch to ``op`` (executing thread only)."""
+        key = id(op)
+        counts = self._rows_by_op
+        counts[key] = counts.get(key, 0) + rows
+        self._current_op = op
+        if key == self._root_key:
+            self.rows += rows
+            self.batches += 1
+
+    def raise_cancelled(self) -> None:
+        """Raise the typed cancellation error (executing thread only)."""
+        raise QueryCancelledError(
+            f"query {self.query_id} cancelled"
+            + (f": {self.cancel_reason}" if self.cancel_reason else ""),
+            query_id=self.query_id)
+
+    # -- introspection ---------------------------------------------------------
+
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self._started_perf
+
+    def progress(self) -> Optional[float]:
+        """Estimated completion fraction in ``[0, 1]``, or ``None``.
+
+        ``None`` when the plan carried no cardinality estimates (e.g. an
+        un-annotated scheme before the optimizer ran).  Monotonically
+        non-decreasing across calls, clamped per operator so one
+        underestimated scan cannot report 300%.
+        """
+        total = self._est_total
+        if not total:
+            return None
+        counts = self._rows_by_op
+        done = 0.0
+        for key, estimate in self._est_by_op.items():
+            emitted = counts.get(key, 0)
+            done += emitted if emitted < estimate else estimate
+        fraction = done / total
+        if fraction > 1.0:
+            fraction = 1.0
+        if fraction > self._progress_peak:
+            self._progress_peak = fraction
+        return self._progress_peak
+
+    def current_operator(self) -> str:
+        """Describe-string of the operator that most recently emitted."""
+        op = self._current_op
+        return op.describe() if op is not None else ""
+
+    def describe(self) -> Dict[str, object]:
+        """One listing row: everything ``/queries`` and ``top`` render."""
+        entry: Dict[str, object] = {
+            "id": self.query_id,
+            "frontend": self.frontend,
+            "scheme": self.scheme,
+            "source": self.source,
+            "text": self.text[:500],
+            "started_at": self.started_at,
+            "elapsed_seconds": self.elapsed_seconds(),
+            "rows": self.rows,
+            "batches": self.batches,
+            "progress": self.progress(),
+            "operator": self.current_operator(),
+            "cancel_requested": self.cancel_requested,
+        }
+        if self._pool is not None and self._buffers_mark is not None:
+            delta = self._pool.snapshot_delta(self._buffers_mark)
+            entry["buffers"] = {key: delta[key] for key in
+                                ("page_reads", "page_hits", "evictions",
+                                 "lazy_values_loaded")}
+        return entry
+
+
+class NullActiveQuery:
+    """Disabled stand-in: hot paths skip all bookkeeping.
+
+    ``enabled`` is False and ``cancel_requested`` never becomes True, so an
+    execution without a registered query pays two attribute checks per
+    operator call and nothing more.
+    """
+
+    enabled = False
+    cancel_requested = False
+
+    def attach_plan(self, plan) -> None:  # pragma: no cover - never hot
+        pass
+
+    def on_batch(self, op, rows: int) -> None:  # pragma: no cover - never hot
+        pass
+
+    def raise_cancelled(self) -> None:  # pragma: no cover - flag never set
+        pass
+
+
+NULL_ACTIVE_QUERY = NullActiveQuery()
+"""Shared default; ``context.active_query is NULL_ACTIVE_QUERY`` when the
+execution is not registered (bare-engine runs, internal DELETE WHERE)."""
+
+
+class ActiveQueryRegistry:
+    """Tracks every in-flight query of one store; store-lifetime.
+
+    Like the metrics registry, it survives rebuilds, compactions and
+    ``RDFStore.open(into=)`` swaps, so query ids stay unique for the life
+    of the serving process and a ``top`` view never observes an id reset.
+    """
+
+    def __init__(self, events=None, metrics=None) -> None:
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._active: Dict[int, ActiveQuery] = {}
+        self._events = events
+        self._cancelled_total = None
+        if metrics is not None:
+            self._cancelled_total = metrics.counter(
+                "queries_cancelled_total",
+                "Cancellation requests that reached a running query.")
+            metrics.gauge("active_queries",
+                          "Queries currently executing on this store.",
+                          fn=self.active_count)
+
+    # -- lifecycle (called from the store's query funnels) ---------------------
+
+    def begin(self, text: str, frontend: str, scheme: str,
+              source: str = "store", pool=None) -> ActiveQuery:
+        """Register a query that is about to execute; returns its handle."""
+        with self._lock:
+            self._next_id += 1
+            query = ActiveQuery(self._next_id, text, frontend, scheme,
+                                source=source, pool=pool)
+            self._active[query.query_id] = query
+        if self._events is not None:
+            self._events.emit("query_start", id=query.query_id,
+                              frontend=frontend, scheme=scheme, source=source,
+                              text=query.text[:200])
+        return query
+
+    def finish(self, query: ActiveQuery, status: str = "finished",
+               rows: int = 0, seconds: float = 0.0,
+               error: Optional[BaseException] = None) -> None:
+        """Deregister a query (idempotent); emits the lifecycle event.
+
+        ``status`` is ``finished`` or ``cancelled``; pass ``error`` for
+        failed runs (emits ``query_error`` instead of ``query_finish``).
+        """
+        with self._lock:
+            if self._active.pop(query.query_id, None) is None:
+                return
+        if self._events is None:
+            return
+        if error is not None:
+            self._events.emit("query_error", id=query.query_id,
+                              frontend=query.frontend,
+                              error=f"{type(error).__name__}: {error}",
+                              seconds=seconds)
+        else:
+            self._events.emit("query_finish", id=query.query_id,
+                              frontend=query.frontend, status=status,
+                              rows=rows, seconds=seconds)
+
+    # -- control & introspection (any thread) ----------------------------------
+
+    def cancel(self, query_id: int, reason: str = "") -> bool:
+        """Request cooperative cancellation of a running query.
+
+        Returns True when the id was active (the flag is now set and the
+        executing thread will unwind at its next batch boundary); False for
+        unknown or already-finished ids — cancelling those is a no-op.
+        """
+        with self._lock:
+            query = self._active.get(query_id)
+            if query is None:
+                return False
+            query.cancel_reason = reason
+            query.cancel_requested = True
+        if self._cancelled_total is not None:
+            self._cancelled_total.inc()
+        if self._events is not None:
+            self._events.emit("query_cancel", id=query_id, reason=reason)
+        return True
+
+    def get(self, query_id: int) -> Optional[ActiveQuery]:
+        with self._lock:
+            return self._active.get(query_id)
+
+    def active(self) -> List[Dict[str, object]]:
+        """Listing rows for every in-flight query, oldest first."""
+        with self._lock:
+            queries = sorted(self._active.values(),
+                             key=lambda q: q.query_id)
+        return [query.describe() for query in queries]
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._active)

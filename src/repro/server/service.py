@@ -23,6 +23,8 @@ from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional
 
+from urllib.parse import parse_qs, urlsplit
+
 from ..obs import default_registry, render_prometheus
 from ..sparql import PlannerOptions, QueryResult
 from ..sql import SqlResult
@@ -109,10 +111,26 @@ class StoreService:
         with self._observed("checkpoint"):
             return self.store.checkpoint(path)
 
+    # -- query management --------------------------------------------------------
+
+    def active_queries(self) -> List[dict]:
+        """Every query currently executing on the store (see
+        :meth:`repro.core.RDFStore.active_queries`)."""
+        return self.store.active_queries()
+
+    def cancel(self, query_id: int, reason: str = "") -> bool:
+        """Request cooperative cancellation of a running query.
+
+        Returns ``True`` when the id was active; ``False`` is a safe
+        no-op for unknown or already-finished ids.
+        """
+        return self.store.cancel(query_id, reason=reason)
+
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
-        """Service-level counters: open snapshots, pending writes, versions."""
+        """Service-level counters: open snapshots, pending writes, versions,
+        active queries, and the most recent slow-query entries."""
         store = self.store
         return {
             "open_snapshots": store.open_snapshot_count(),
@@ -120,6 +138,9 @@ class StoreService:
             "delta_version": store.delta.version,
             "pending_inserts": store.delta.insert_count(),
             "pending_deletes": store.delta.tombstone_count(),
+            "active_queries": store.query_registry.active_count(),
+            "slow_queries": [entry.as_dict() for entry
+                             in store.slow_queries()[:20]],
         }
 
 
@@ -174,30 +195,73 @@ class QueryServer:
 
     def start_metrics_endpoint(self, host: str = "127.0.0.1",
                                port: int = 0) -> int:
-        """Serve ``GET /metrics`` (Prometheus text) and ``GET /stats`` (JSON)
-        on a daemon thread; returns the bound port (``port=0`` picks a free
-        one).  Stopped by :meth:`shutdown`.
+        """Serve the observability endpoint on a daemon thread.
+
+        Routes (all ``GET``):
+
+        * ``/metrics`` — Prometheus text exposition;
+        * ``/stats`` — service-level JSON (versions, pending writes, active
+          query count, recent slow queries);
+        * ``/queries`` — JSON list of in-flight queries with progress;
+        * ``/queries/cancel?id=N`` — request cooperative cancellation
+          (``200`` with ``{"cancelled": true}`` when the id was active,
+          ``404`` when unknown/finished, ``400`` for a malformed id).
+
+        Returns the bound port (``port=0`` picks a free one).  Stopped by
+        :meth:`shutdown`.
         """
         if self._http is not None:
             raise RuntimeError("metrics endpoint already running")
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
+            def _send(self, status: int, content_type: str,
+                      body: bytes) -> None:
+                # a scraper or curl may disconnect mid-response; that is the
+                # client's business, not a server stack trace
+                try:
+                    self.send_response(status)
+                    self.send_header("Content-Type", content_type)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+
+            def _send_json(self, status: int, payload: object) -> None:
+                self._send(status, "application/json",
+                           json.dumps(payload).encode("utf-8"))
+
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path.split("?")[0] == "/metrics":
-                    body = server.metrics_text().encode("utf-8")
-                    content_type = "text/plain; version=0.0.4; charset=utf-8"
-                elif self.path.split("?")[0] == "/stats":
-                    body = json.dumps(server.service.stats()).encode("utf-8")
-                    content_type = "application/json"
+                parts = urlsplit(self.path)
+                route = parts.path
+                if route == "/metrics":
+                    self._send(200, "text/plain; version=0.0.4; charset=utf-8",
+                               server.metrics_text().encode("utf-8"))
+                elif route == "/stats":
+                    self._send_json(200, server.service.stats())
+                elif route == "/queries":
+                    self._send_json(200,
+                                    {"queries": server.service.active_queries()})
+                elif route == "/queries/cancel":
+                    params = parse_qs(parts.query)
+                    raw = params.get("id", [""])[0]
+                    try:
+                        query_id = int(raw)
+                    except ValueError:
+                        self._send_json(400, {"error": f"bad query id: {raw!r}"})
+                        return
+                    reason = params.get("reason", [""])[0]
+                    if server.service.cancel(query_id, reason=reason):
+                        self._send_json(200, {"cancelled": True, "id": query_id})
+                    else:
+                        self._send_json(404, {"cancelled": False, "id": query_id,
+                                              "error": "no such active query"})
                 else:
-                    self.send_error(404, "unknown path (try /metrics or /stats)")
-                    return
-                self.send_response(200)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                    self._send_json(404, {
+                        "error": f"unknown path {route!r}",
+                        "routes": ["/metrics", "/stats", "/queries",
+                                   "/queries/cancel?id=N"]})
 
             def log_message(self, format, *args) -> None:  # noqa: A002
                 pass  # scrapes every few seconds would flood stderr

@@ -34,7 +34,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import ExecutionContext
-from ..errors import StorageError
+from ..errors import QueryCancelledError, StorageError
 from ..sparql import PlanCache, PlannerOptions, QueryResult, SparqlEngine
 from ..sql import SqlEngine, SqlResult
 
@@ -103,23 +103,35 @@ class ReadSnapshot:
     def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
         """Run a SPARQL query against the pinned state.
 
-        Snapshot queries record into the owning store's metrics and
-        slow-query log exactly like direct :meth:`RDFStore.sparql` calls —
-        the observer is resolved through the store at call time, so it
-        keeps pointing at the live registry even across an
-        ``open(into=...)`` swap.
+        Snapshot queries record into the owning store's metrics,
+        slow-query log and active-query registry exactly like direct
+        :meth:`RDFStore.sparql` calls — both are resolved through the store
+        at call time, so they keep pointing at the live registries even
+        across an ``open(into=...)`` swap.  The query is therefore visible
+        in ``store.active_queries()`` (``source="snapshot"``) and
+        cancellable with ``store.cancel(id)`` while it runs.
         """
         self._require_open()
         observer = self._store._observer
+        registry = self._store.query_registry
+        scheme = (options or PlannerOptions()).scheme
+        active = registry.begin(text, "sparql", scheme, source="snapshot",
+                                pool=self._store.pool)
         started = time.perf_counter()
         try:
-            result = self._engine.query(text, options)
-        except Exception:
+            result = self._engine.query(text, options, active=active)
+        except QueryCancelledError:
+            registry.finish(active, status="cancelled",
+                            seconds=time.perf_counter() - started)
+            raise
+        except Exception as exc:
+            registry.finish(active, seconds=time.perf_counter() - started,
+                            error=exc)
             observer.error("sparql")
             raise
-        scheme = (options or PlannerOptions()).scheme
-        observer.observe("sparql", scheme, time.perf_counter() - started,
-                         len(result), text=text)
+        elapsed = time.perf_counter() - started
+        registry.finish(active, rows=len(result), seconds=elapsed)
+        observer.observe("sparql", scheme, elapsed, len(result), text=text)
         return result
 
     def sql(self, text: str) -> SqlResult:
@@ -128,14 +140,24 @@ class ReadSnapshot:
         if self.catalog is None:
             raise StorageError("catalog not available; the store had no discovered schema")
         observer = self._store._observer
+        registry = self._store.query_registry
+        active = registry.begin(text, "sql", "sql", source="snapshot",
+                                pool=self._store.pool)
         started = time.perf_counter()
         try:
-            result = SqlEngine(self.context, self.catalog).query(text)
-        except Exception:
+            result = SqlEngine(self.context, self.catalog).query(text, active=active)
+        except QueryCancelledError:
+            registry.finish(active, status="cancelled",
+                            seconds=time.perf_counter() - started)
+            raise
+        except Exception as exc:
+            registry.finish(active, seconds=time.perf_counter() - started,
+                            error=exc)
             observer.error("sql")
             raise
-        observer.observe("sql", "sql", time.perf_counter() - started,
-                         len(result), text=text)
+        elapsed = time.perf_counter() - started
+        registry.finish(active, rows=len(result), seconds=elapsed)
+        observer.observe("sql", "sql", elapsed, len(result), text=text)
         return result
 
     def decode_rows(self, result) -> List[tuple]:

@@ -141,7 +141,7 @@ class SparqlEngine:
         return query, plan
 
     def query(self, text: str, options: Optional[PlannerOptions] = None,
-              tracer=None) -> QueryResult:
+              tracer=None, active=None) -> QueryResult:
         """Parse, plan and execute a query.
 
         Args:
@@ -151,6 +151,9 @@ class SparqlEngine:
             tracer: an optional :class:`repro.obs.QueryTrace`; when given,
                 the run records per-operator spans into it and the result's
                 ``trace`` field carries it back.
+            active: an optional :class:`repro.obs.ActiveQuery` registry
+                handle; when given, the run accounts per-operator rows into
+                it and honours its cooperative-cancellation flag.
 
         Returns:
             A :class:`QueryResult` with OID bindings, measured cost and the
@@ -160,9 +163,12 @@ class SparqlEngine:
             ParseError: when the text is not in the supported subset.
             PlanError: when the options name an unknown plan scheme.
             ExecutionError: when the plan requires a store that is not built.
+            QueryCancelledError: when ``active`` was cancelled mid-run.
         """
         parsed, plan = self.prepare(text, options)
-        context = self.context if tracer is None else self.context.with_tracer(tracer)
+        if active is not None:
+            active.attach_plan(plan)
+        context = self.context.with_observation(tracer=tracer, active=active)
         bindings, cost = execute_plan(plan, context)
         return QueryResult(bindings=bindings, cost=cost, plan=plan,
                            columns=parsed.output_names(), trace=tracer)

@@ -92,7 +92,7 @@ class SqlEngine:
 
     # -- public API -----------------------------------------------------------------
 
-    def query(self, text: str, tracer=None) -> SqlResult:
+    def query(self, text: str, tracer=None, active=None) -> SqlResult:
         """Parse, plan and execute one SQL SELECT statement.
 
         Args:
@@ -101,6 +101,8 @@ class SqlEngine:
                 ORDER BY, LIMIT).
             tracer: an optional :class:`repro.obs.QueryTrace` recording
                 per-operator spans for this run.
+            active: an optional :class:`repro.obs.ActiveQuery` registry
+                handle carrying row accounting and the cancellation flag.
 
         Returns:
             A :class:`SqlResult` with the output columns, OID bindings,
@@ -110,10 +112,13 @@ class SqlEngine:
             ParseError: when the SQL text cannot be parsed.
             SchemaError: when the query references unknown tables, columns
                 or joins without a discovered foreign key.
+            QueryCancelledError: when ``active`` was cancelled mid-run.
         """
         parsed = parse_sql(text)
         plan, columns = self._plan(parsed)
-        context = self.context if tracer is None else self.context.with_tracer(tracer)
+        if active is not None:
+            active.attach_plan(plan)
+        context = self.context.with_observation(tracer=tracer, active=active)
         bindings, cost = execute_plan(plan, context)
         return SqlResult(columns=columns, bindings=bindings, cost=cost,
                          plan=plan, trace=tracer)

@@ -1,0 +1,576 @@
+"""Live query management: registry, cancellation, progress, event log.
+
+Covered here:
+
+* the structured :class:`EventLog` — ring semantics, type filtering, the
+  JSON-lines file sink with bounded rotation;
+* :class:`ActiveQueryRegistry` / :class:`ActiveQuery` unit semantics — id
+  monotonicity, idempotent finish, cancel of unknown ids, progress
+  estimation (clamping, monotonic peak, ``None`` without estimates);
+* store integration — queries visible in ``active_queries()`` mid-run,
+  cooperative cancellation raising :class:`QueryCancelledError` within one
+  batch, lifecycle events for queries/updates/compactions/checkpoints/WAL
+  replay, registry and event log surviving ``open(into=)`` swaps;
+* cancellation races — cancel under 8 concurrent snapshot readers plus a
+  writer, cancel of an already-finished id (no-op), cancel during LIMIT
+  early termination — all asserting registry cleanup and no leaked
+  snapshot pins;
+* the HTTP surface — ``/queries`` listing, ``/queries/cancel`` status
+  codes (200/404/400), and the hardened 404-with-JSON-body handler.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    DiscoveryConfig,
+    EventLog,
+    ExecutionError,
+    GeneralizationConfig,
+    PlannerOptions,
+    QueryCancelledError,
+    QueryServer,
+    RDFStore,
+    StorageError,
+    StoreConfig,
+)
+from repro.engine.operators import ProjectOp
+from repro.obs import NULL_ACTIVE_QUERY, ActiveQuery, ActiveQueryRegistry
+
+from _datasets import EX, book_triples
+
+STAR_QUERY = f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . ?b <{EX}isbn_no> ?i . }}"
+CROSS_QUERY = (f"SELECT ?b ?a ?b2 WHERE {{ ?b <{EX}has_author> ?a . "
+               f"?b2 <{EX}has_author> ?a . }}")
+
+
+def _config(**overrides) -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)), **overrides)
+
+
+@pytest.fixture()
+def store() -> RDFStore:
+    return RDFStore.build(book_triples(), config=_config())
+
+
+@pytest.fixture()
+def slow_store() -> RDFStore:
+    """Row-at-a-time cross-join workload: runs long, cancels within one row."""
+    return RDFStore.build(book_triples(books=200, authors=4),
+                          config=_config(batch_size=1))
+
+
+class _Gate:
+    """Deterministic mid-query hold: every ProjectOp batch waits for release."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+
+@pytest.fixture()
+def project_gate(monkeypatch) -> _Gate:
+    gate = _Gate()
+    original = ProjectOp._next_batch
+
+    def gated(self, context):
+        gate.entered.set()
+        assert gate.release.wait(timeout=30), "gate never released"
+        return original(self, context)
+
+    monkeypatch.setattr(ProjectOp, "_next_batch", gated)
+    return gate
+
+
+# -- event log ----------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_seq_and_ts(self):
+        log = EventLog(capacity=8)
+        first = log.emit("query_start", id=1)
+        second = log.emit("query_finish", id=1, status="finished")
+        assert second["seq"] == first["seq"] + 1
+        assert second["ts"] >= first["ts"]
+        assert first["type"] == "query_start" and first["id"] == 1
+
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("update", n=i)
+        events = log.events()
+        assert [e["n"] for e in events] == [4, 3, 2]  # newest first
+        assert len(log) == 3
+        stats = log.stats()
+        assert stats == {"emitted": 5, "buffered": 3, "dropped": 2,
+                         "rotations": 0}
+
+    def test_type_filter_and_limit(self):
+        log = EventLog(capacity=16)
+        for i in range(4):
+            log.emit("query_start", id=i)
+            log.emit("query_finish", id=i)
+        starts = log.events(type="query_start", limit=2)
+        assert [e["id"] for e in starts] == [3, 2]
+        assert all(e["type"] == "query_start" for e in starts)
+
+    def test_file_sink_writes_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=4, path=path)
+        log.emit("checkpoint", path="/db", seconds=0.5)
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["type"] == "checkpoint" and record["path"] == "/db"
+
+    def test_rotation_keeps_at_most_two_files(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=4, path=path, max_bytes=200)
+        for i in range(50):
+            log.emit("update", n=i, padding="x" * 40)
+        log.close()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["events.jsonl", "events.jsonl.1"]
+        assert log.stats()["rotations"] >= 1
+        for file in tmp_path.iterdir():
+            assert file.stat().st_size <= 200 + 120  # bound + one record slack
+            for line in file.read_text().splitlines():
+                json.loads(line)  # every rotated line is intact JSON
+
+    def test_clear_keeps_file_sink(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=4, path=path)
+        log.emit("update", n=1)
+        log.clear()
+        assert len(log) == 0
+        log.emit("update", n=2)
+        log.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+        with pytest.raises(ValueError):
+            EventLog(max_bytes=0)
+
+    def test_store_config_validation(self):
+        with pytest.raises(StorageError):
+            _config(event_log_size=0)
+        with pytest.raises(StorageError):
+            _config(event_log_max_bytes=0)
+
+
+# -- registry unit semantics --------------------------------------------------
+
+
+class _FakeOp:
+    def __init__(self, estimated, children=()):
+        self.estimated_rows = estimated
+        self._children = tuple(children)
+
+    def children(self):
+        return self._children
+
+    def describe(self):
+        return f"Fake[est={self.estimated_rows}]"
+
+
+class TestActiveQueryRegistry:
+    def test_ids_are_monotonic_and_finish_is_idempotent(self):
+        registry = ActiveQueryRegistry()
+        first = registry.begin("SELECT 1", "sparql", "optimized")
+        second = registry.begin("SELECT 2", "sparql", "optimized")
+        assert second.query_id == first.query_id + 1
+        assert registry.active_count() == 2
+        registry.finish(first)
+        registry.finish(first)  # double-finish is a no-op
+        assert registry.active_count() == 1
+        registry.finish(second)
+        assert registry.active() == []
+
+    def test_cancel_unknown_or_finished_id_is_noop(self):
+        events = EventLog(capacity=8)
+        registry = ActiveQueryRegistry(events=events)
+        assert registry.cancel(42) is False
+        query = registry.begin("SELECT 1", "sparql", "optimized")
+        registry.finish(query)
+        assert registry.cancel(query.query_id) is False
+        # a refused cancel leaves no trace in the event log
+        assert events.events(type="query_cancel") == []
+
+    def test_cancel_sets_flag_and_emits_event(self):
+        events = EventLog(capacity=8)
+        registry = ActiveQueryRegistry(events=events)
+        query = registry.begin("SELECT 1", "sparql", "optimized")
+        assert registry.cancel(query.query_id, reason="too slow") is True
+        assert query.cancel_requested is True
+        (cancel,) = events.events(type="query_cancel")
+        assert cancel["id"] == query.query_id and cancel["reason"] == "too slow"
+        with pytest.raises(QueryCancelledError) as excinfo:
+            query.raise_cancelled()
+        assert excinfo.value.query_id == query.query_id
+        assert "too slow" in str(excinfo.value)
+
+    def test_progress_none_without_estimates(self):
+        query = ActiveQuery(1, "q", "sparql", "rdfscan")
+        query.attach_plan(_FakeOp(None, [_FakeOp(None)]))
+        assert query.progress() is None
+
+    def test_progress_clamped_and_monotonic(self):
+        child = _FakeOp(100.0)
+        root = _FakeOp(100.0, [child])
+        query = ActiveQuery(1, "q", "sparql", "optimized")
+        query.attach_plan(root)
+        query.on_batch(child, 50)
+        assert query.progress() == pytest.approx(0.25)
+        query.on_batch(root, 50)
+        assert query.progress() == pytest.approx(0.5)
+        # a wild underestimate cannot push the fraction past 1.0 ...
+        query.on_batch(child, 10_000)
+        query.on_batch(root, 10_000)
+        assert query.progress() == 1.0
+        # ... and the reported fraction never goes backwards
+        peak = query.progress()
+        assert query.progress() >= peak
+
+    def test_describe_lists_everything_top_needs(self):
+        query = ActiveQuery(7, "SELECT   ?x\nWHERE { }", "sparql", "optimized",
+                            source="snapshot")
+        root = _FakeOp(10.0)
+        query.attach_plan(root)
+        query.on_batch(root, 4)
+        entry = query.describe()
+        assert entry["id"] == 7
+        assert entry["text"] == "SELECT ?x WHERE { }"  # whitespace-normalized
+        assert entry["source"] == "snapshot"
+        assert entry["rows"] == 4 and entry["batches"] == 1
+        assert entry["operator"] == root.describe()
+        assert 0 < entry["progress"] <= 1.0
+        assert entry["cancel_requested"] is False
+        assert entry["elapsed_seconds"] >= 0
+
+    def test_error_type_hierarchy(self):
+        assert issubclass(QueryCancelledError, ExecutionError)
+        assert QueryCancelledError("x").query_id is None
+
+    def test_null_active_query_is_inert(self):
+        assert NULL_ACTIVE_QUERY.enabled is False
+        assert NULL_ACTIVE_QUERY.cancel_requested is False
+        NULL_ACTIVE_QUERY.raise_cancelled()  # never raises
+
+
+# -- store integration --------------------------------------------------------
+
+
+class TestStoreIntegration:
+    def test_query_lifecycle_events(self, store):
+        result = store.sparql(STAR_QUERY)
+        assert store.active_queries() == []
+        finish = store.events(type="query_finish", limit=1)[0]
+        start = store.events(type="query_start", limit=1)[0]
+        assert start["id"] == finish["id"]
+        assert start["frontend"] == "sparql"
+        assert finish["status"] == "finished"
+        assert finish["rows"] == len(result)
+        assert finish["seconds"] >= 0
+
+    def test_sql_queries_are_registered_too(self, store):
+        store.sql("SELECT isbn_no FROM Book ORDER BY isbn_no")
+        start = store.events(type="query_start", limit=1)[0]
+        assert start["frontend"] == "sql"
+        assert store.active_queries() == []
+
+    def test_failed_query_emits_error_event(self, store):
+        with pytest.raises(Exception):
+            store.sql("SELECT nope FROM NoSuchTable")
+        (error,) = store.events(type="query_error")
+        assert "NoSuchTable" in error["error"] or "error" in error["error"].lower()
+        assert store.active_queries() == []
+
+    def test_query_visible_and_cancellable_mid_run(self, store, project_gate):
+        outcome = []
+
+        def run():
+            try:
+                store.sparql(STAR_QUERY)
+                outcome.append("finished")
+            except QueryCancelledError as exc:
+                outcome.append(("cancelled", exc.query_id))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert project_gate.entered.wait(timeout=10)
+        (entry,) = store.active_queries()
+        assert entry["frontend"] == "sparql"
+        assert entry["cancel_requested"] is False
+        assert store.cancel(entry["id"], reason="operator request") is True
+        (listed,) = store.active_queries()
+        assert listed["cancel_requested"] is True
+        project_gate.release.set()
+        thread.join(timeout=30)
+        assert outcome == [("cancelled", entry["id"])]
+        assert store.active_queries() == []
+        finish = store.events(type="query_finish", limit=1)[0]
+        assert finish["status"] == "cancelled" and finish["id"] == entry["id"]
+        # a subsequent identical query runs normally on the shared cached plan
+        assert len(store.sparql(STAR_QUERY)) > 0
+
+    def test_progress_is_monotonic_under_optimized_scheme(self, slow_store):
+        options = PlannerOptions(scheme="optimized")
+        done = threading.Event()
+        samples = []
+
+        def run():
+            try:
+                slow_store.sparql(CROSS_QUERY, options)
+            except QueryCancelledError:
+                pass
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        deadline = time.time() + 30
+        qid = None
+        while not done.is_set() and time.time() < deadline:
+            active = slow_store.active_queries()
+            if active:
+                qid = active[0]["id"]
+                if active[0]["progress"] is not None:
+                    samples.append(active[0]["progress"])
+                if len(samples) >= 5 and samples[-1] > 0:
+                    slow_store.cancel(qid)  # seen enough; stop the burn
+            time.sleep(0.002)
+        thread.join(timeout=30)
+        assert qid is not None, "query never became visible"
+        assert samples, "no progress samples observed"
+        assert samples == sorted(samples), "progress went backwards"
+        assert 0 < samples[-1] <= 1.0
+
+    def test_cancel_finished_id_is_noop(self, store):
+        store.sparql(STAR_QUERY)
+        finished_id = store.events(type="query_finish", limit=1)[0]["id"]
+        assert store.cancel(finished_id) is False
+        assert store.events(type="query_cancel") == []
+
+    def test_update_compaction_checkpoint_events(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(f'INSERT DATA {{ <{EX}x> <{EX}p> "v" . }}')
+        (update,) = store.events(type="update")
+        assert update["inserted"] == 1 and update["deleted"] == 0
+        store.checkpoint()
+        (compaction,) = store.events(type="compaction")
+        assert compaction["merged_inserts"] == 1
+        (checkpoint,) = store.events(type="checkpoint")
+        assert checkpoint["triples"] == store.triple_count()
+
+    def test_wal_replay_event_on_open(self, store, tmp_path):
+        store.save(tmp_path / "db")
+        store.update(f'INSERT DATA {{ <{EX}x> <{EX}p> "v" . }}')
+        reopened = RDFStore.open(tmp_path / "db")
+        (replay,) = reopened.events(type="wal_replay")
+        assert replay["records"] == 1
+        # replayed updates do not masquerade as fresh update events
+        assert reopened.events(type="update") == []
+
+    def test_registry_and_event_log_survive_open_into_swap(self, store, tmp_path):
+        store.sparql(STAR_QUERY)
+        registry = store.query_registry
+        event_log = store.event_log
+        first_id = store.events(type="query_start", limit=1)[0]["id"]
+        store.save(tmp_path / "db")
+        RDFStore.open(tmp_path / "db", into=store)
+        assert store.query_registry is registry
+        assert store.event_log is event_log
+        store.sparql(STAR_QUERY)
+        second_id = store.events(type="query_start", limit=1)[0]["id"]
+        assert second_id == first_id + 1  # ids keep counting across the swap
+        assert store.cancel(second_id) is False  # already finished: no-op
+
+    def test_event_log_file_sink_through_store(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        store = RDFStore.build(book_triples(),
+                               config=_config(event_log_path=path))
+        store.sparql(STAR_QUERY)
+        store.event_log.close()
+        types = [json.loads(line)["type"]
+                 for line in path.read_text().splitlines()]
+        assert types == ["query_start", "query_finish"]
+
+    def test_event_log_entries_metric(self, store):
+        store.sparql(STAR_QUERY)
+        metrics = store.metrics()
+        assert metrics["event_log_entries"] == len(store.event_log) >= 2
+        assert metrics["active_queries"] == 0
+        assert metrics["queries_cancelled_total"] == 0
+
+
+# -- cancellation races -------------------------------------------------------
+
+
+class TestCancellationRaces:
+    def test_cancel_under_concurrent_readers_and_writer(self, slow_store):
+        """Cancel queries mid-flight under 8 snapshot readers + a writer."""
+        with QueryServer(slow_store, workers=8) as server:
+            futures = [server.submit_query(CROSS_QUERY) for _ in range(8)]
+            stop_writer = threading.Event()
+
+            def write():
+                i = 0
+                while not stop_writer.is_set():
+                    slow_store.update(
+                        f'INSERT DATA {{ <{EX}w/{i}> <{EX}p> "v" . }}')
+                    i += 1
+                    time.sleep(0.002)
+
+            writer = threading.Thread(target=write)
+            writer.start()
+            try:
+                cancelled = set()
+                deadline = time.time() + 60
+                while time.time() < deadline:
+                    for entry in slow_store.active_queries():
+                        if entry["id"] not in cancelled:
+                            if slow_store.cancel(entry["id"]):
+                                cancelled.add(entry["id"])
+                    if all(f.done() for f in futures):
+                        break
+                    time.sleep(0.002)
+            finally:
+                stop_writer.set()
+                writer.join(timeout=30)
+            outcomes = []
+            for future in futures:
+                try:
+                    result = future.result(timeout=60)
+                    outcomes.append(("finished", len(result)))
+                except QueryCancelledError as exc:
+                    outcomes.append(("cancelled", exc.query_id))
+        # every reader unwound one way or the other; most were cancelled
+        assert len(outcomes) == 8
+        assert cancelled, "no query was ever visible to cancel"
+        assert sum(1 for kind, _ in outcomes if kind == "cancelled") >= 1
+        assert slow_store.active_queries() == []
+        assert slow_store.open_snapshot_count() == 0, "leaked snapshot pins"
+        cancels = slow_store.events(type="query_cancel")
+        assert {event["id"] for event in cancels} == cancelled
+
+    def test_cancel_during_limit_early_termination(self, store, project_gate):
+        """LIMIT closes its child mid-stream; a racing cancel must unwind
+        cleanly through the same cascade without leaking registry entries."""
+        query = f"SELECT ?b WHERE {{ ?b <{EX}has_author> ?a . }} LIMIT 3"
+        outcome = []
+
+        def run():
+            try:
+                with store.snapshot() as snapshot:
+                    outcome.append(("finished", len(snapshot.sparql(query))))
+            except QueryCancelledError as exc:
+                outcome.append(("cancelled", exc.query_id))
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        assert project_gate.entered.wait(timeout=10)
+        (entry,) = store.active_queries()
+        assert entry["source"] == "snapshot"
+        assert store.cancel(entry["id"]) is True
+        project_gate.release.set()
+        thread.join(timeout=30)
+        assert outcome[0][0] in ("cancelled", "finished")
+        assert store.active_queries() == []
+        assert store.open_snapshot_count() == 0, "leaked snapshot pin"
+
+    def test_uncancelled_limit_still_terminates_early(self, store):
+        query = f"SELECT ?b WHERE {{ ?b <{EX}has_author> ?a . }} LIMIT 3"
+        with store.snapshot() as snapshot:
+            assert len(snapshot.sparql(query)) == 3
+        assert store.active_queries() == []
+        assert store.open_snapshot_count() == 0
+
+
+# -- HTTP surface -------------------------------------------------------------
+
+
+def _http_json(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        body = err.read()
+        return err.code, json.loads(body), dict(err.headers)
+
+
+class TestHttpQueryManagement:
+    def test_queries_listing_and_cancel_roundtrip(self, slow_store):
+        with QueryServer(slow_store, workers=2) as server:
+            port = server.start_metrics_endpoint()
+            base = f"http://127.0.0.1:{port}"
+            future = server.submit_query(CROSS_QUERY)
+            entry = None
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                _status, payload, _headers = _http_json(f"{base}/queries")
+                if payload["queries"]:
+                    entry = payload["queries"][0]
+                    break
+                time.sleep(0.005)
+            assert entry is not None, "query never appeared in /queries"
+            assert entry["source"] == "snapshot"
+            status, payload, _headers = _http_json(
+                f"{base}/queries/cancel?id={entry['id']}&reason=http")
+            assert status == 200 and payload == {"cancelled": True,
+                                                 "id": entry["id"]}
+            with pytest.raises(QueryCancelledError):
+                future.result(timeout=60)
+            (cancel,) = slow_store.events(type="query_cancel")
+            assert cancel["reason"] == "http"
+        assert slow_store.active_queries() == []
+        assert slow_store.open_snapshot_count() == 0
+
+    def test_cancel_status_codes(self, store):
+        with QueryServer(store, workers=1) as server:
+            port = server.start_metrics_endpoint()
+            base = f"http://127.0.0.1:{port}"
+            status, payload, _ = _http_json(f"{base}/queries/cancel?id=999")
+            assert status == 404 and payload["cancelled"] is False
+            status, payload, _ = _http_json(f"{base}/queries/cancel?id=abc")
+            assert status == 400 and "bad query id" in payload["error"]
+            status, payload, _ = _http_json(f"{base}/queries/cancel")
+            assert status == 400
+
+    def test_unknown_path_has_json_body_and_content_length(self, store):
+        with QueryServer(store, workers=1) as server:
+            port = server.start_metrics_endpoint()
+            base = f"http://127.0.0.1:{port}"
+            status, payload, headers = _http_json(f"{base}/definitely/not")
+            assert status == 404
+            assert "/queries" in payload["routes"]
+            assert int(headers["Content-Length"]) > 0
+            assert headers["Content-Type"] == "application/json"
+
+    def test_stats_includes_slow_queries_and_active_count(self, store):
+        store.slow_query_log.threshold_seconds = 0.0  # log everything
+        with QueryServer(store, workers=1) as server:
+            port = server.start_metrics_endpoint()
+            server.submit_query(STAR_QUERY).result()
+            base = f"http://127.0.0.1:{port}"
+            _status, stats, _ = _http_json(f"{base}/stats")
+            assert stats["active_queries"] == 0
+            assert len(stats["slow_queries"]) >= 1
+            entry = stats["slow_queries"][0]
+            assert entry["frontend"] == "sparql"
+            assert entry["seconds"] >= 0
+
+    def test_service_facade_cancel_and_listing(self, store):
+        with QueryServer(store, workers=1) as server:
+            assert server.service.active_queries() == []
+            assert server.service.cancel(12345) is False

@@ -7,8 +7,16 @@ the server, then scrapes ``GET /metrics`` over real HTTP and verifies:
 
   1. every sample line parses as Prometheus text format 0.0.4,
   2. the core metric families are present (query latency histogram,
-     plan cache, buffer pool, WAL, lock wait, snapshot pins), and
+     plan cache, buffer pool, WAL, lock wait, snapshot pins,
+     active-query registry), and
   3. the counters the workload must have bumped are nonzero.
+
+It then exercises the live query-management surface end to end: starts a
+deliberately slow cross-join query on a batch-size-1 store, polls
+``GET /queries`` until the query is visible, cancels it with
+``GET /queries/cancel?id=``, and asserts the query unwound with
+``QueryCancelledError`` and that the cancel shows up in the structured
+event log.
 
 Exit status 0 when all checks pass; any failure raises (nonzero exit).
 CI runs this after the unit suite as a cheap wire-format regression gate.
@@ -20,6 +28,7 @@ import json
 import re
 import sys
 import tempfile
+import time
 import urllib.request
 from pathlib import Path
 
@@ -27,7 +36,12 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro import QueryServer, RDFStore, StoreConfig  # noqa: E402
+from repro import (  # noqa: E402
+    QueryCancelledError,
+    QueryServer,
+    RDFStore,
+    StoreConfig,
+)
 from repro.cs import DiscoveryConfig, GeneralizationConfig  # noqa: E402
 
 RDF_TYPE = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
@@ -74,6 +88,9 @@ MUST_BE_PRESENT = [
     "repro_open_snapshots",
     "repro_pinned_delta_versions",
     "repro_server_requests_total",
+    "repro_active_queries",
+    "repro_queries_cancelled_total",
+    "repro_event_log_entries",
 ]
 
 MUST_BE_NONZERO = {
@@ -104,6 +121,59 @@ def parse_exposition(text: str) -> dict:
     return samples
 
 
+def smoke_query_management() -> None:
+    """Start a slow query, watch it in /queries, cancel it over HTTP."""
+    # batch_size=1 keeps every next_batch call tiny: the cross-join star
+    # (~books^2/authors rows) runs long enough to observe and cancel, and a
+    # cancel lands within one (one-row) batch
+    config = StoreConfig(
+        discovery=DiscoveryConfig(
+            generalization=GeneralizationConfig(min_support=3)),
+        batch_size=1)
+    store = RDFStore.build(book_nt(books=400, authors=4), config=config)
+    slow_query = (f"SELECT ?b ?a ?b2 WHERE {{ ?b <{EX}has_author> ?a . "
+                  f"?b2 <{EX}has_author> ?a . }}")
+    with QueryServer(store, workers=2) as server:
+        port = server.start_metrics_endpoint()
+        url = f"http://127.0.0.1:{port}"
+        future = server.submit_query(slow_query)
+
+        entry = None
+        for _ in range(2000):
+            with urllib.request.urlopen(f"{url}/queries", timeout=10) as resp:
+                queries = json.load(resp)["queries"]
+            if queries:
+                entry = queries[0]
+                break
+            time.sleep(0.005)
+        assert entry is not None, "slow query never showed up in /queries"
+        for key in ("id", "frontend", "scheme", "text", "elapsed_seconds",
+                    "rows", "progress", "operator", "cancel_requested"):
+            assert key in entry, f"/queries entry missing {key!r}: {entry}"
+        assert entry["frontend"] == "sparql", entry
+
+        with urllib.request.urlopen(
+                f"{url}/queries/cancel?id={entry['id']}", timeout=10) as resp:
+            payload = json.load(resp)
+        assert payload == {"cancelled": True, "id": entry["id"]}, payload
+
+        try:
+            future.result(timeout=60)
+            raise AssertionError("slow query finished despite cancellation")
+        except QueryCancelledError as exc:
+            assert exc.query_id == entry["id"], exc
+
+    assert store.active_queries() == [], store.active_queries()
+    assert store.open_snapshot_count() == 0, "cancel leaked a snapshot pin"
+    types = [event["type"] for event in store.events()]
+    for expected in ("query_start", "query_cancel", "query_finish"):
+        assert expected in types, f"{expected} missing from event log: {types}"
+    finish = store.events(type="query_finish", limit=1)[0]
+    assert finish["status"] == "cancelled", finish
+    print(f"query management smoke OK: slow query id={entry['id']} visible in "
+          f"/queries, cancelled over HTTP, lifecycle in event log")
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         config = StoreConfig(discovery=DiscoveryConfig(
@@ -129,6 +199,9 @@ def main() -> int:
             with urllib.request.urlopen(f"{url}/stats", timeout=10) as resp:
                 stats = json.load(resp)
             assert stats["pending_inserts"] >= 4, stats
+            assert "active_queries" in stats and "slow_queries" in stats, stats
+            with urllib.request.urlopen(f"{url}/queries", timeout=10) as resp:
+                assert json.load(resp)["queries"] == []  # workload has drained
 
         samples = parse_exposition(body)
         print(f"scraped {len(samples)} samples from /metrics on port {port}")
@@ -149,6 +222,7 @@ def main() -> int:
 
     print("metrics smoke OK: exposition parses, core families present, "
           "workload counters nonzero")
+    smoke_query_management()
     return 0
 
 

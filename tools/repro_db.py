@@ -24,6 +24,9 @@ Build a database from RDF, reopen it, query it, inspect it::
     python tools/repro_db.py stats mydb/
     python tools/repro_db.py stats mydb/ --prometheus
 
+    # refreshing live view of a running server's in-flight queries
+    python tools/repro_db.py top http://127.0.0.1:9090
+
 Exit status is 0 on success, 1 on any repro error (bad input, corrupt
 database, unsupported query), with the message on stderr.
 """
@@ -143,7 +146,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
         return 0
     metrics = store.metrics()
     if args.json:
-        print(json.dumps(metrics, indent=2, sort_keys=True))
+        payload = {
+            "metrics": metrics,
+            "slow_queries": [entry.as_dict() for entry in store.slow_queries()],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     summary = store.storage_summary()
     print(f"database:      {args.database}")
@@ -174,6 +181,61 @@ def cmd_stats(args: argparse.Namespace) -> int:
             continue  # the human view keeps counts; percentiles stay in --json
         print(f"  {key} = {metrics[key]:g}")
     return 0
+
+
+def _render_top(stats: dict, queries: list) -> list[str]:
+    lines = [
+        f"repro top — {stats.get('active_queries', len(queries))} active, "
+        f"{stats.get('open_snapshots', 0)} snapshots pinned, "
+        f"delta v{stats.get('delta_version', '?')} "
+        f"({stats.get('pending_inserts', 0)} pending inserts, "
+        f"{stats.get('pending_deletes', 0)} pending deletes)",
+        f"{'ID':>5} {'SRC':<8} {'FE':<6} {'SCHEME':<9} {'TIME':>8} "
+        f"{'ROWS':>9} {'PROG':>6} {'OP':<28} QUERY",
+    ]
+    for q in queries:
+        progress = q.get("progress")
+        prog = f"{progress * 100:5.1f}%" if progress is not None else "     -"
+        flag = "!" if q.get("cancel_requested") else " "
+        lines.append(
+            f"{q['id']:>5} {q.get('source', '-'):<8} {q.get('frontend', '-'):<6} "
+            f"{q.get('scheme', '-'):<9} {q.get('elapsed_seconds', 0.0):7.2f}s "
+            f"{q.get('rows', 0):>9} {prog} {q.get('operator', '')[:28]:<28}{flag}"
+            f"{q.get('text', '')[:60]}")
+    if not queries:
+        lines.append("  (no queries in flight)")
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+    iterations = args.iterations
+    count = 0
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/queries", timeout=5) as resp:
+                queries = json.loads(resp.read())["queries"]
+            with urllib.request.urlopen(base + "/stats", timeout=5) as resp:
+                stats = json.loads(resp.read())
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        if not args.no_clear and count:
+            sys.stdout.write("\033[2J\033[H")  # clear + home, like top(1)
+        print("\n".join(_render_top(stats, queries)), flush=True)
+        count += 1
+        if iterations and count >= iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -224,6 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="print the flat metrics dict as JSON")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_top = sub.add_parser(
+        "top", help="refreshing live view of a server's in-flight queries")
+    p_top.add_argument("url", help="base URL of a QueryServer metrics endpoint "
+                                   "(e.g. http://127.0.0.1:9090)")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between refreshes (default 1)")
+    p_top.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop after N refreshes (default: run until ^C)")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append refreshes instead of clearing the screen")
+    p_top.set_defaults(func=cmd_top)
 
     return parser
 
