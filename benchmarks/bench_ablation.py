@@ -22,29 +22,34 @@ ABLATIONS = [
 
 @pytest.mark.parametrize("label,scheme,ordering,zone_maps", ABLATIONS,
                          ids=[a[0] for a in ABLATIONS])
-def test_q3_ablation(benchmark, table1_harness, label, scheme, ordering, zone_maps):
+def test_q3_ablation(benchmark, table1_harness, bench_report, label, scheme,
+                     ordering, zone_maps):
     def run():
         return table1_harness.run_cell("Q3", scheme, ordering, zone_maps, "cold")
 
     measurement = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["simulated_ms"] = measurement.simulated_seconds * 1e3
     benchmark.extra_info["page_reads"] = measurement.page_reads
+    bench_report.record_pytest_benchmark(f"q3_cold_{label}_wall_seconds", benchmark)
     assert measurement.result_rows >= 1
 
 
-def test_ablation_ordering(table1_harness, results_dir):
+def test_ablation_ordering(table1_harness, bench_report):
     """Each added optimization must not hurt, and the full stack must win."""
     costs = {}
     for label, scheme, ordering, zone_maps in ABLATIONS:
         measurement = table1_harness.run_cell("Q3", scheme, ordering, zone_maps, "cold")
         costs[label] = measurement.simulated_seconds
+        bench_report.record(f"q3_cold_{label}_simulated_seconds",
+                            measurement.simulated_seconds,
+                            extra={"page_reads": measurement.page_reads})
 
     lines = ["Q3 ablation (cold, simulated seconds)", ""]
     for label, value in costs.items():
         lines.append(f"{label:>24}: {value * 1e3:9.2f} ms "
                      f"({costs['baseline'] / value:5.1f}x vs baseline)")
     report = "\n".join(lines) + "\n"
-    (results_dir / "ablation_q3.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("ablation_q3.txt", report)
     print("\n" + report)
 
     assert costs["clustering_only"] <= costs["baseline"]

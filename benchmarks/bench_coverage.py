@@ -25,16 +25,19 @@ def dirty_encoded():
 
 
 @pytest.mark.parametrize("min_support", [2, 5, 20, 80])
-def test_coverage_vs_support_threshold(benchmark, dirty_encoded, min_support):
+def test_coverage_vs_support_threshold(benchmark, dirty_encoded, bench_report,
+                                       min_support):
     dataset, dictionary, matrix = dirty_encoded
     config = DiscoveryConfig(generalization=GeneralizationConfig(min_support=min_support))
     schema = benchmark(lambda: discover_schema(matrix, dictionary, config))
     benchmark.extra_info["triple_coverage"] = round(schema.coverage.triple_coverage(), 4)
     benchmark.extra_info["tables"] = len(schema.tables)
+    bench_report.record_pytest_benchmark(
+        f"discover_min_support_{min_support}_seconds", benchmark)
     assert 0.0 <= schema.coverage.triple_coverage() <= 1.0
 
 
-def test_generalization_ablation(dirty_encoded, results_dir):
+def test_generalization_ablation(dirty_encoded, bench_report):
     """Generalization (nullable merging) should raise coverage and shrink the
     schema compared to exact-CS-only discovery."""
     dataset, dictionary, matrix = dirty_encoded
@@ -58,7 +61,14 @@ def test_generalization_ablation(dirty_encoded, results_dir):
         lines.append(f"min_support={min_support:>3}: coverage={schema.coverage.triple_coverage():.3f} "
                      f"tables={len(schema.tables)}")
     report = "\n".join(lines) + "\n"
-    (results_dir / "coverage_ablation.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("coverage_ablation.txt", report)
+    bench_report.record("coverage_strict", strict.coverage.triple_coverage(),
+                        unit="fraction", direction="higher_is_better",
+                        extra={"tables": len(strict.tables)})
+    bench_report.record("coverage_generalized",
+                        generalized.coverage.triple_coverage(),
+                        unit="fraction", direction="higher_is_better",
+                        extra={"tables": len(generalized.tables)})
     print("\n" + report)
 
     assert generalized.coverage.triple_coverage() >= strict.coverage.triple_coverage()

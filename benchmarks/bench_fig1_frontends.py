@@ -14,7 +14,7 @@ from repro.bench import q3_sparql, q3_sql, q6_sparql, q6_sql
 from repro.sparql import PlannerOptions, RDFSCAN_SCHEME
 
 
-def test_sparql_frontend_q6(benchmark, table1_harness):
+def test_sparql_frontend_q6(benchmark, table1_harness, bench_report):
     store = table1_harness.store("Clustered")
     options = PlannerOptions(scheme=RDFSCAN_SCHEME, use_zone_maps=True)
 
@@ -23,10 +23,11 @@ def test_sparql_frontend_q6(benchmark, table1_harness):
         return store.sparql(q6_sparql(), options)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    bench_report.record_pytest_benchmark("q6_sparql_hot_seconds", benchmark)
     assert len(result) == 1
 
 
-def test_sql_frontend_q6(benchmark, table1_harness):
+def test_sql_frontend_q6(benchmark, table1_harness, bench_report):
     store = table1_harness.store("Clustered")
 
     def run():
@@ -34,10 +35,11 @@ def test_sql_frontend_q6(benchmark, table1_harness):
         return store.sql(q6_sql())
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    bench_report.record_pytest_benchmark("q6_sql_hot_seconds", benchmark)
     assert len(result) == 1
 
 
-def test_frontends_agree(table1_harness, results_dir):
+def test_frontends_agree(table1_harness, bench_report):
     store = table1_harness.store("Clustered")
     sparql_q6 = store.sparql(q6_sparql(), PlannerOptions(scheme=RDFSCAN_SCHEME, use_zone_maps=True))
     sql_q6 = store.sql(q6_sql())
@@ -62,5 +64,5 @@ def test_frontends_agree(table1_harness, results_dir):
     lines.append("Emergent SQL view (DDL):")
     lines.append(catalog.ddl_script())
     report = "\n".join(lines) + "\n"
-    (results_dir / "fig1_frontends.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("fig1_frontends.txt", report)
     print("\n" + report)

@@ -17,7 +17,7 @@ def _encode(triples):
     return dictionary, value_order_literals(matrix, dictionary)
 
 
-def test_schema_discovery_dblp(benchmark, results_dir):
+def test_schema_discovery_dblp(benchmark, bench_report):
     dictionary, matrix = _encode(generate_dblp(DblpConfig(papers=400, conferences=16, authors=120,
                                                           irregularity=0.05)))
     config = DiscoveryConfig(generalization=GeneralizationConfig(min_support=3))
@@ -33,7 +33,11 @@ def test_schema_discovery_dblp(benchmark, results_dir):
         lines.append(f"FK: {source}.{predicate} -> {target} (confidence {fk.confidence:.2f})")
     lines.append(f"irregular subjects: {len(schema.irregular_subjects)}")
     report = "\n".join(lines) + "\n"
-    (results_dir / "fig2_schema.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("fig2_schema.txt", report)
+    bench_report.record_pytest_benchmark(
+        "discover_dblp_seconds", benchmark,
+        extra={"coverage": round(schema.coverage.triple_coverage(), 4),
+               "tables": len(schema.tables)})
     print("\n" + report)
 
     labels = {t.label for t in schema.tables.values()}
@@ -48,7 +52,7 @@ def test_schema_discovery_dblp(benchmark, results_dir):
     assert schema.irregular_subjects or webpage_tables
 
 
-def test_schema_discovery_dirty_crawl(benchmark):
+def test_schema_discovery_dirty_crawl(benchmark, bench_report):
     dataset = generate_dirty(DirtyConfig(classes=6, subjects_per_class=150, noise_triples=0.05,
                                          chaotic_subjects=40))
     dictionary, matrix = _encode(dataset.triples)
@@ -60,5 +64,9 @@ def test_schema_discovery_dirty_crawl(benchmark):
     schema = benchmark(lambda: discover_schema(matrix, dictionary, config))
 
     regular_fraction = dataset.regular_triple_count / dataset.total_triples()
+    bench_report.record_pytest_benchmark(
+        "discover_dirty_seconds", benchmark,
+        extra={"coverage": round(schema.coverage.triple_coverage(), 4),
+               "regular_fraction": round(regular_fraction, 4)})
     assert schema.coverage.triple_coverage() >= 0.8 * regular_fraction
     assert len(schema.tables) >= 5

@@ -18,16 +18,17 @@ def _cold_run(store, query, options):
     return store.sparql(query, options)
 
 
-def test_parse_order_locality(benchmark, table1_harness):
+def test_parse_order_locality(benchmark, table1_harness, bench_report):
     store = table1_harness.store("ParseOrder")
     options = PlannerOptions(scheme=RDFSCAN_SCHEME)
     result = benchmark.pedantic(lambda: _cold_run(store, q6_sparql(), options),
                                 rounds=3, iterations=1)
     benchmark.extra_info["page_reads"] = result.cost.counters["page_reads"]
+    bench_report.record_pytest_benchmark("q6_cold_parseorder_seconds", benchmark)
     assert len(result) == 1
 
 
-def test_clustered_locality(benchmark, table1_harness, results_dir):
+def test_clustered_locality(benchmark, table1_harness, bench_report):
     parse_order = table1_harness.store("ParseOrder")
     clustered = table1_harness.store("Clustered")
     options = PlannerOptions(scheme=RDFSCAN_SCHEME)
@@ -35,9 +36,14 @@ def test_clustered_locality(benchmark, table1_harness, results_dir):
     result = benchmark.pedantic(lambda: _cold_run(clustered, q6_sparql(), options),
                                 rounds=3, iterations=1)
     benchmark.extra_info["page_reads"] = result.cost.counters["page_reads"]
+    bench_report.record_pytest_benchmark("q6_cold_clustered_seconds", benchmark)
 
     baseline = _cold_run(parse_order, q6_sparql(), options)
     clustered_run = _cold_run(clustered, q6_sparql(), options)
+    bench_report.record("q6_cold_parseorder_page_reads",
+                        baseline.cost.counters["page_reads"], unit="pages")
+    bench_report.record("q6_cold_clustered_page_reads",
+                        clustered_run.cost.counters["page_reads"], unit="pages")
 
     store = clustered.clustered_store
     lines = ["Figure 3 reproduction — subject clustering and locality", ""]
@@ -52,7 +58,7 @@ def test_clustered_locality(benchmark, table1_harness, results_dir):
     lines.append(f"Q6 cold page reads, ParseOrder: {baseline.cost.counters['page_reads']}")
     lines.append(f"Q6 cold page reads, Clustered:  {clustered_run.cost.counters['page_reads']}")
     report = "\n".join(lines) + "\n"
-    (results_dir / "fig3_clustering.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("fig3_clustering.txt", report)
     print("\n" + report)
 
     # clustering concentrates each CS into contiguous subject ranges: the same

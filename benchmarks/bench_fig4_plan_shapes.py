@@ -20,7 +20,8 @@ from repro.sparql import DEFAULT_SCHEME, PlannerOptions, RDFSCAN_SCHEME
     ("fig4b_star_fk_hop", star_fk_hop_sparql()),
 ])
 @pytest.mark.parametrize("scheme", [DEFAULT_SCHEME, RDFSCAN_SCHEME])
-def test_plan_shape_execution(benchmark, table1_harness, query_name, query_text, scheme):
+def test_plan_shape_execution(benchmark, table1_harness, bench_report,
+                              query_name, query_text, scheme):
     store = table1_harness.store("Clustered")
     options = PlannerOptions(scheme=scheme)
     plan = store.sparql_plan(query_text, options)
@@ -32,10 +33,12 @@ def test_plan_shape_execution(benchmark, table1_harness, query_name, query_text,
         return store.sparql(query_text, options)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    bench_report.record_pytest_benchmark(
+        f"{query_name}_{scheme}_cold_seconds", benchmark)
     assert len(result) > 0
 
 
-def test_plan_shapes_and_equivalence(table1_harness, results_dir):
+def test_plan_shapes_and_equivalence(table1_harness, bench_report):
     store = table1_harness.store("Clustered")
     lines = ["Figure 4 reproduction — operator and join counts per plan scheme", ""]
     for name, text in (("Fig 4(a) star, 4 properties", star_lookup_sparql()),
@@ -62,7 +65,7 @@ def test_plan_shapes_and_equivalence(table1_harness, results_dir):
         assert rdfscan_plan.count_joins() < default_plan.count_joins()
 
     report = "\n".join(lines) + "\n"
-    (results_dir / "fig4_plan_shapes.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("fig4_plan_shapes.txt", report)
     print("\n" + report)
 
     # Fig 4(a): the 4-property star needs 3 joins in the Default scheme, 0 with RDFscan

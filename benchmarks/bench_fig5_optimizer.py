@@ -36,7 +36,8 @@ QUERIES = [
 
 @pytest.mark.parametrize("query_name,query_text", QUERIES)
 @pytest.mark.parametrize("scheme", SCHEMES)
-def test_scheme_execution(benchmark, table1_harness, query_name, query_text, scheme):
+def test_scheme_execution(benchmark, table1_harness, bench_report,
+                          query_name, query_text, scheme):
     """Cold execution of each query under each of the three plan schemes."""
     store = table1_harness.store("Clustered")
     options = PlannerOptions(scheme=scheme)
@@ -49,10 +50,12 @@ def test_scheme_execution(benchmark, table1_harness, query_name, query_text, sch
         return store.sparql(query_text, options)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
+    bench_report.record_pytest_benchmark(
+        f"{query_name}_{scheme}_cold_seconds", benchmark)
     assert len(result) > 0
 
 
-def test_optimized_equivalence_and_report(table1_harness, results_dir):
+def test_optimized_equivalence_and_report(table1_harness, bench_report):
     """All three schemes agree; write the comparison report."""
     store = table1_harness.store("Clustered")
     optimizer = QueryOptimizer(store.context())
@@ -81,11 +84,10 @@ def test_optimized_equivalence_and_report(table1_harness, results_dir):
         lines.extend("    " + line
                      for line in store.explain(text, options, analyze=True).splitlines())
         lines.append("")
-    report = results_dir / "fig5_optimizer.txt"
-    report.write_text("\n".join(lines))
+    bench_report.write_text("fig5_optimizer.txt", "\n".join(lines))
 
 
-def test_batched_vs_row_execution(table1_harness, results_dir):
+def test_batched_vs_row_execution(table1_harness, bench_report):
     """The vectorized batch executor vs. row-at-a-time execution.
 
     The same queries run hot under ``batch_size=1024`` (the production
@@ -98,14 +100,14 @@ def test_batched_vs_row_execution(table1_harness, results_dir):
     store = table1_harness.store("Clustered")
     saved = store.config.batch_size
 
-    def median_seconds(text, options, size):
+    def timed_runs(text, options, size):
         store.config.batch_size = size
         runs = []
         for _ in range(3):
             started = time.perf_counter()
             result = store.sparql(text, options)
             runs.append(time.perf_counter() - started)
-        return statistics.median(runs), sorted(result.rows())
+        return runs, sorted(result.rows())
 
     lines = ["Figure 5 addendum — batched vs row-at-a-time execution "
              "(median of 3, hot)", ""]
@@ -117,10 +119,18 @@ def test_batched_vs_row_execution(table1_harness, results_dir):
                       ("rdfh_q3", q3_sparql())]
         for name, text in scan_heavy + [("rdfh_q6", q6_sparql())]:
             options = PlannerOptions(scheme=OPTIMIZED_SCHEME)
-            batched, batched_rows = median_seconds(text, options, 1024)
-            row_mode, row_rows = median_seconds(text, options, 1)
+            batched_runs, batched_rows = timed_runs(text, options, 1024)
+            row_runs, row_rows = timed_runs(text, options, 1)
             assert batched_rows == row_rows, f"batched diverged on {name}"
+            batched = statistics.median(batched_runs)
+            row_mode = statistics.median(row_runs)
             speedup = row_mode / max(batched, 1e-9)
+            bench_report.record_timings(f"{name}_batched_hot_seconds",
+                                        batched_runs, extra={"batch_size": 1024})
+            bench_report.record_timings(f"{name}_row_mode_hot_seconds",
+                                        row_runs, extra={"batch_size": 1})
+            bench_report.record(f"{name}_batch_speedup", speedup, unit="ratio",
+                                direction="higher_is_better")
             lines.append(f"  {name:>14}: batched={batched * 1e3:8.2f}ms  "
                          f"row-at-a-time={row_mode * 1e3:9.2f}ms  "
                          f"speedup={speedup:6.1f}x")
@@ -129,10 +139,10 @@ def test_batched_vs_row_execution(table1_harness, results_dir):
                 f"{name}: batched only {speedup:.2f}x vs row-at-a-time (floor {floor}x)"
     finally:
         store.config.batch_size = saved
-    (results_dir / "fig5_batch_speedup.txt").write_text("\n".join(lines) + "\n")
+    bench_report.write_text("fig5_batch_speedup.txt", "\n".join(lines) + "\n")
 
 
-def test_trace_overhead(table1_harness, results_dir):
+def test_trace_overhead(table1_harness, bench_report):
     """Observation is strictly opt-in: report its cost, bound its blast.
 
     The same hot micro-query runs four ways:
@@ -174,6 +184,12 @@ def test_trace_overhead(table1_harness, results_dir):
     traced = best_mean_seconds(lambda: store.sparql(query, options, trace=True))
     registry_overhead = registry / max(bare, 1e-12) - 1.0
     traced_overhead = traced / max(registry, 1e-12) - 1.0
+    kind = f"best mean of 5x{repeats}"
+    bench_report.record("star_lookup_bare_seconds", bare, kind=kind, runs=repeats)
+    bench_report.record("star_lookup_registry_seconds", registry, kind=kind,
+                        runs=repeats)
+    bench_report.record("star_lookup_traced_seconds", traced, kind=kind,
+                        runs=repeats)
     report = (f"Figure 5 addendum — observation overhead on star_lookup "
               f"(best mean of 5x{repeats} hot runs)\n"
               f"  bare engine:        {bare * 1e6:9.1f} us/query\n"
@@ -181,13 +197,13 @@ def test_trace_overhead(table1_harness, results_dir):
               f"({registry_overhead * 100:+6.1f}% vs bare)\n"
               f"  traced:             {traced * 1e6:9.1f} us/query  "
               f"({traced_overhead * 100:+6.1f}% vs registry)\n")
-    (results_dir / "fig5_trace_overhead.txt").write_text(report)
+    bench_report.write_text("fig5_trace_overhead.txt", report)
     assert store.last_trace() is not None and store.last_trace().root is not None
     assert traced <= registry * 5.0, \
         f"tracing costs {traced_overhead * 100:.0f}% — span bookkeeping got too heavy"
 
 
-def test_plan_cache_speedup(table1_harness, results_dir):
+def test_plan_cache_speedup(table1_harness, bench_report):
     """Repeated prepared queries must be measurably faster through the cache."""
     store = table1_harness.store("Clustered")
     query = star_fk_hop_sparql()
@@ -210,7 +226,12 @@ def test_plan_cache_speedup(table1_harness, results_dir):
     uncached_seconds = time.perf_counter() - started
 
     speedup = uncached_seconds / max(cached_seconds, 1e-9)
-    (results_dir / "fig5_plan_cache.txt").write_text(
+    bench_report.record("plan_cache_prepare_speedup", speedup, unit="ratio",
+                        runs=rounds, direction="higher_is_better",
+                        extra={"cached_seconds": cached_seconds,
+                               "uncached_seconds": uncached_seconds})
+    bench_report.write_text(
+        "fig5_plan_cache.txt",
         f"plan cache prepare() speedup over {rounds} repeats: {speedup:.1f}x\n"
         f"cached:   {cached_seconds * 1e3:.2f} ms total\n"
         f"uncached: {uncached_seconds * 1e3:.2f} ms total\n")

@@ -78,7 +78,7 @@ def report_lines():
     yield lines
 
 
-def test_insert_throughput(report_lines):
+def test_insert_throughput(report_lines, bench_report):
     store = _build_store()
     baseline = _time_query(store)
     total_triples = 0
@@ -90,6 +90,9 @@ def test_insert_throughput(report_lines):
     assert total_triples == INSERT_BATCHES * BATCH_SUBJECTS * 4
     assert store.has_pending_updates()
     throughput = total_triples / elapsed if elapsed else float("inf")
+    bench_report.record("insert_throughput_triples_per_second", throughput,
+                        unit="triples/s", direction="higher_is_better",
+                        extra={"triples": total_triples})
     report_lines.append(
         f"insert throughput: {total_triples} triples in {elapsed * 1e3:.1f} ms "
         f"({throughput:,.0f} triples/s), baseline query {baseline * 1e3:.2f} ms")
@@ -97,7 +100,7 @@ def test_insert_throughput(report_lines):
     assert store.triple_count() < store.live_triple_count()
 
 
-def test_post_update_query_latency(report_lines):
+def test_post_update_query_latency(report_lines, bench_report):
     store = _build_store()
     before = _time_query(store)
     rows_before = len(store.sparql(STAR_QUERY))
@@ -106,13 +109,18 @@ def test_post_update_query_latency(report_lines):
     after = _time_query(store)
     rows_after = len(store.sparql(STAR_QUERY))
     assert rows_after > rows_before  # merged scans see the delta
+    bench_report.record("star_query_clean_seconds", before, kind="best",
+                        runs=ROUNDS)
+    bench_report.record("star_query_merged_seconds", after, kind="best",
+                        runs=ROUNDS,
+                        extra={"pending_inserts": store.delta.insert_count()})
     report_lines.append(
         f"query latency: {before * 1e3:.2f} ms clean -> {after * 1e3:.2f} ms "
         f"with {store.delta.insert_count()} pending inserts "
         f"({rows_after - rows_before} extra rows)")
 
 
-def test_batched_vs_row_merged_scan(report_lines):
+def test_batched_vs_row_merged_scan(report_lines, bench_report):
     """The batch executor must also win on the MergeScan (delta) path.
 
     With pending deltas in play every scan folds ``base ∪ delta −
@@ -150,6 +158,12 @@ def test_batched_vs_row_merged_scan(report_lines):
         store.config.batch_size = saved
     assert batched_rows == row_rows
     speedup = row_mode / max(batched, 1e-9)
+    bench_report.record("merged_scan_batched_seconds", batched, kind="median",
+                        runs=3, extra={"batch_size": 1024})
+    bench_report.record("merged_scan_row_mode_seconds", row_mode, kind="median",
+                        runs=3, extra={"batch_size": 1})
+    bench_report.record("merged_scan_batch_speedup", speedup, unit="ratio",
+                        direction="higher_is_better")
     report_lines.append(
         f"merged scan batched vs row-at-a-time: {batched * 1e3:.2f} ms vs "
         f"{row_mode * 1e3:.2f} ms ({speedup:.1f}x, median of 3, "
@@ -158,7 +172,7 @@ def test_batched_vs_row_merged_scan(report_lines):
         f"batched merged scan only {speedup:.2f}x vs row-at-a-time"
 
 
-def test_compaction_cost_and_recovery(report_lines, results_dir):
+def test_compaction_cost_and_recovery(report_lines, bench_report):
     store = _build_store()
     for batch in range(INSERT_BATCHES):
         store.update(_insert_batch(batch))
@@ -176,5 +190,8 @@ def test_compaction_cost_and_recovery(report_lines, results_dir):
         f"({report.subjects_assigned} subjects joined a CS, "
         f"{report.subjects_leftover} leftover); query {merged_latency * 1e3:.2f} ms "
         f"merged -> {compacted_latency * 1e3:.2f} ms compacted")
-    out = results_dir / "fig6_updates.txt"
-    out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")
+    bench_report.record("compaction_seconds", compaction_seconds,
+                        extra={"pending_writes": pending})
+    bench_report.record("star_query_compacted_seconds", compacted_latency,
+                        kind="best", runs=ROUNDS)
+    bench_report.write_text("fig6_updates.txt", "\n".join(report_lines) + "\n")

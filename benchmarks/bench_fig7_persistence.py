@@ -83,7 +83,7 @@ def saved_db(tmp_path_factory):
     return path, store
 
 
-def test_cold_open_vs_full_rebuild(saved_db, report_lines):
+def test_cold_open_vs_full_rebuild(saved_db, report_lines, bench_report):
     path, store = saved_db
     started = time.perf_counter()
     rebuilt = RDFStore.build(_triples(), config=_config())
@@ -95,6 +95,9 @@ def test_cold_open_vs_full_rebuild(saved_db, report_lines):
 
     assert reopened.triple_count() == rebuilt.triple_count() == store.triple_count()
     speedup = rebuild_seconds / open_seconds if open_seconds else float("inf")
+    bench_report.record("cold_open_seconds", open_seconds,
+                        extra={"triples": store.triple_count()})
+    bench_report.record("full_rebuild_seconds", rebuild_seconds)
     report_lines.append(
         f"cold open: {open_seconds * 1e3:.1f} ms vs full rebuild "
         f"{rebuild_seconds * 1e3:.1f} ms ({speedup:.0f}x) over "
@@ -102,7 +105,7 @@ def test_cold_open_vs_full_rebuild(saved_db, report_lines):
     assert speedup > 1.0  # opening must beat re-discovering + re-clustering
 
 
-def test_checkpoint_cost(report_lines, tmp_path_factory):
+def test_checkpoint_cost(report_lines, bench_report, tmp_path_factory):
     path = tmp_path_factory.mktemp("fig7ckpt") / "db"
     store = _build_store()
     started = time.perf_counter()
@@ -116,6 +119,11 @@ def test_checkpoint_cost(report_lines, tmp_path_factory):
     report = store.checkpoint()
     checkpoint_seconds = time.perf_counter() - started
     assert not store.has_pending_updates()
+    bench_report.record("save_seconds", save_seconds,
+                        extra={"files": info.files,
+                               "data_bytes": info.data_bytes})
+    bench_report.record("checkpoint_seconds", checkpoint_seconds,
+                        extra={"pending_inserts": pending})
     report_lines.append(
         f"snapshot: {info.files} files, {info.data_bytes / 1024:.0f} KiB in "
         f"{save_seconds * 1e3:.1f} ms; checkpoint with {pending} pending inserts "
@@ -123,7 +131,7 @@ def test_checkpoint_cost(report_lines, tmp_path_factory):
         f"(+{report.compaction.merged_inserts} triples merged)")
 
 
-def test_lazy_vs_eager_first_query(saved_db, report_lines):
+def test_lazy_vs_eager_first_query(saved_db, report_lines, bench_report):
     path, _store = saved_db
     lazy = RDFStore.open(path)
     started = time.perf_counter()
@@ -144,6 +152,12 @@ def test_lazy_vs_eager_first_query(saved_db, report_lines):
     eager_first = time.perf_counter() - started
 
     assert lazy_rows == eager_rows > 0
+    bench_report.record("first_query_lazy_seconds", lazy_first,
+                        extra={"segments_materialized":
+                               stats["lazy_segments_materialized"],
+                               "segments_registered":
+                               stats["lazy_segments_registered"]})
+    bench_report.record("first_query_eager_seconds", eager_first)
     report_lines.append(
         f"first query: lazy {lazy_first * 1e3:.2f} ms "
         f"(materialized {stats['lazy_segments_materialized']}/"
@@ -153,7 +167,7 @@ def test_lazy_vs_eager_first_query(saved_db, report_lines):
     assert stats["lazy_segments_materialized"] < stats["lazy_segments_registered"]
 
 
-def test_wal_replay_cost(saved_db, report_lines, results_dir):
+def test_wal_replay_cost(saved_db, report_lines, bench_report):
     path, store = saved_db
     for batch in range(UPDATE_BATCHES):
         store.update(_insert_batch(batch))
@@ -166,7 +180,11 @@ def test_wal_replay_cost(saved_db, report_lines, results_dir):
         f"WAL replay: {UPDATE_BATCHES} logged requests "
         f"({reopened.delta.insert_count()} pending inserts) replayed at open in "
         f"{replay_seconds * 1e3:.1f} ms")
+    bench_report.record("wal_replay_open_seconds", replay_seconds,
+                        extra={"logged_requests": UPDATE_BATCHES,
+                               "pending_inserts":
+                               reopened.delta.insert_count()})
     # leave the shared database clean for reruns, and persist the report
     store.checkpoint()
-    out = results_dir / "fig7_persistence.txt"
-    out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")
+    bench_report.write_text("fig7_persistence.txt",
+                            "\n".join(report_lines) + "\n")

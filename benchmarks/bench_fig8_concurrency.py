@@ -69,7 +69,7 @@ def report_lines():
     yield lines
 
 
-def test_update_burst_latency_is_flat(report_lines):
+def test_update_burst_latency_is_flat(report_lines, bench_report):
     """Per-update cost must stay flat (within 2x) from 1 to BURST pending."""
     store = _build_store()
     store.update(_burst_update(999_999))  # warm the parse/apply path once
@@ -93,6 +93,11 @@ def test_update_burst_latency_is_flat(report_lines):
     last = sorted(chunk_seconds[-3:])[1]
     per_update_first = first / CHUNK * 1e6
     per_update_last = last / CHUNK * 1e6
+    bench_report.record("update_burst_first_chunk_seconds_per_update",
+                        first / CHUNK, runs=CHUNK)
+    bench_report.record("update_burst_last_chunk_seconds_per_update",
+                        last / CHUNK, runs=CHUNK,
+                        extra={"burst": BURST, "growth": round(last / first, 3)})
     report_lines.append(
         f"update burst: {BURST} requests, per-update "
         f"{per_update_first:.0f} µs (median of first 3 chunks) -> "
@@ -132,7 +137,7 @@ def _reader_window(store: RDFStore, seconds: float, errors: list) -> int:
     return sum(counts)
 
 
-def test_reader_throughput_vs_writer_load(report_lines, results_dir):
+def test_reader_throughput_vs_writer_load(report_lines, bench_report):
     store = _build_store()
     errors: list = []
 
@@ -163,11 +168,20 @@ def test_reader_throughput_vs_writer_load(report_lines, results_dir):
     assert updates_applied[0] > 0, "the writer never got a turn"
 
     ratio = loaded_reads / idle_reads if idle_reads else float("inf")
+    bench_report.record("reader_throughput_idle_qps",
+                        idle_reads / WINDOW_SECONDS, unit="queries/s",
+                        direction="higher_is_better",
+                        extra={"readers": READERS})
+    bench_report.record("reader_throughput_under_writes_qps",
+                        loaded_reads / WINDOW_SECONDS, unit="queries/s",
+                        direction="higher_is_better",
+                        extra={"readers": READERS,
+                               "updates_applied": updates_applied[0]})
     report_lines.append(
         f"reader throughput ({READERS} threads, {WINDOW_SECONDS:.1f}s windows): "
         f"{idle_reads / WINDOW_SECONDS:,.0f} q/s idle -> "
         f"{loaded_reads / WINDOW_SECONDS:,.0f} q/s with a writer applying "
         f"{updates_applied[0]} updates (+compactions) concurrently "
         f"(x{ratio:.2f})")
-    out = results_dir / "fig8_concurrency.txt"
-    out.write_text("\n".join(report_lines) + "\n", encoding="utf-8")
+    bench_report.write_text("fig8_concurrency.txt",
+                            "\n".join(report_lines) + "\n")

@@ -21,7 +21,8 @@ _CONFIG_IDS = [f"{scheme}-{ordering}-{'zm' if zm else 'nozm'}"
 @pytest.mark.parametrize("query", ["Q3", "Q6"])
 @pytest.mark.parametrize("scheme,ordering,zone_maps", CONFIGURATIONS, ids=_CONFIG_IDS)
 @pytest.mark.parametrize("cache_state", ["cold", "hot"])
-def test_table1_cell(benchmark, table1_harness, query, scheme, ordering, zone_maps, cache_state):
+def test_table1_cell(benchmark, table1_harness, bench_report, query, scheme,
+                     ordering, zone_maps, cache_state):
     """Wall-clock benchmark of one Table I cell (cost counters reported as extra info)."""
 
     def run():
@@ -32,16 +33,25 @@ def test_table1_cell(benchmark, table1_harness, query, scheme, ordering, zone_ma
     benchmark.extra_info["page_reads"] = measurement.page_reads
     benchmark.extra_info["join_operations"] = measurement.join_operations
     benchmark.extra_info["result_rows"] = measurement.result_rows
+    cell = (f"{query}_{scheme}_{ordering}_{'zm' if zone_maps else 'nozm'}"
+            f"_{cache_state}")
+    bench_report.record_pytest_benchmark(f"{cell}_wall_seconds", benchmark)
+    bench_report.record(f"{cell}_simulated_seconds",
+                        measurement.simulated_seconds,
+                        extra={"page_reads": measurement.page_reads})
     assert measurement.result_rows >= 1
 
 
-def test_table1_full_grid(table1_harness, results_dir):
+def test_table1_full_grid(table1_harness, bench_report):
     """Run the full grid once and emit the paper-style table."""
     result = table1_harness.run()
     simulated = format_table_one(result, metric="simulated_seconds")
     wall = format_table_one(result, metric="wall_seconds")
     report = simulated + "\n\n" + wall + "\n"
-    (results_dir / "table1.txt").write_text(report, encoding="utf-8")
+    bench_report.write_text("table1.txt", report)
+    bench_report.record("q3_speedup_fully_optimized_vs_baseline",
+                        result.speedup("Q3"), unit="ratio",
+                        direction="higher_is_better")
     print("\n" + report)
 
     # the qualitative shape of Table I must hold on the simulated metric

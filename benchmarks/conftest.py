@@ -18,11 +18,20 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.bench import TableOneConfig, TableOneHarness  # noqa: E402
+from repro.bench import (  # noqa: E402
+    BenchReporter,
+    TableOneConfig,
+    TableOneHarness,
+    collect_environment,
+)
 from repro.core import StoreConfig  # noqa: E402
 
 BENCH_SCALE_FACTOR = float(os.environ.get("REPRO_BENCH_SF", "0.002"))
 BENCH_PAGE_SIZE = int(os.environ.get("REPRO_BENCH_PAGE_SIZE", "256"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+"""Where ``BENCH_<name>.json`` result files land (the repo root, so they sit
+next to the sources they measure and are easy to commit / diff across PRs)."""
 
 
 @pytest.fixture(scope="session")
@@ -45,3 +54,27 @@ def results_dir() -> Path:
     path = Path(__file__).resolve().parent / "results"
     path.mkdir(exist_ok=True)
     return path
+
+
+@pytest.fixture(scope="module")
+def bench_report(request, results_dir):
+    """One :class:`BenchReporter` per benchmark module.
+
+    Named after the module with its ``bench_`` prefix stripped, so
+    ``bench_fig5_optimizer.py`` produces ``BENCH_fig5_optimizer.json`` at
+    the repo root when the module finishes (whatever subset of its tests
+    ran — skipped tests simply record nothing).
+    """
+    module = request.module.__name__
+    name = module[len("bench_"):] if module.startswith("bench_") else module
+    reporter = BenchReporter(
+        name,
+        results_dir=results_dir,
+        environment=collect_environment(
+            scale_factor=BENCH_SCALE_FACTOR,
+            page_size=BENCH_PAGE_SIZE,
+            smoke=bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        ),
+    )
+    yield reporter
+    reporter.write_json(REPO_ROOT)

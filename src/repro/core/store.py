@@ -69,6 +69,7 @@ from ..obs import (
     EventLog,
     MetricsRegistry,
     QueryObserver,
+    QueryProfile,
     QueryTrace,
     SlowQueryLog,
     default_registry,
@@ -128,6 +129,14 @@ class StoreConfig:
         event_log_max_bytes: rotation threshold of the event-log file —
             crossing it renames the file to ``<path>.1`` and starts fresh,
             bounding disk use at roughly twice this value.
+        profile_queries: profile every query as if it were run with
+            ``profile=True`` — per-operator CPU self time, rows, payload
+            bytes and buffer-pool page attribution on each result's
+            ``trace`` (see :mod:`repro.obs.profile`).  A runtime tuning
+            knob, not part of the on-disk layout.
+        profile_memory: also sample per-operator allocation peaks with
+            ``tracemalloc`` when profiling (an order of magnitude of
+            overhead — strictly a debugging switch).
     """
 
     discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
@@ -145,6 +154,8 @@ class StoreConfig:
     event_log_size: int = 1024
     event_log_path: Optional[Path | str] = None
     event_log_max_bytes: int = 1 << 20
+    profile_queries: bool = False
+    profile_memory: bool = False
 
     def __post_init__(self) -> None:
         """Validate eagerly so misconfiguration fails at construction, not
@@ -181,6 +192,12 @@ class StoreConfig:
             raise StorageError(
                 f"event_log_max_bytes must be a positive integer, "
                 f"got {self.event_log_max_bytes!r}")
+        if not isinstance(self.profile_queries, bool):
+            raise StorageError(
+                f"profile_queries must be a bool, got {self.profile_queries!r}")
+        if not isinstance(self.profile_memory, bool):
+            raise StorageError(
+                f"profile_memory must be a bool, got {self.profile_memory!r}")
 
 
 @dataclass(frozen=True)
@@ -1081,7 +1098,7 @@ class RDFStore:
         return self._sparql_engine
 
     def sparql(self, text: str, options: Optional[PlannerOptions] = None,
-               trace: bool = False) -> QueryResult:
+               trace: bool = False, profile: bool = False) -> QueryResult:
         """Run a SPARQL query.
 
         Args:
@@ -1091,6 +1108,11 @@ class RDFStore:
             trace: when ``True``, record a per-operator
                 :class:`~repro.obs.QueryTrace` for this run — returned on
                 the result's ``trace`` field and via :meth:`last_trace`.
+            profile: when ``True`` (or ``config.profile_queries`` is set),
+                record a :class:`~repro.obs.QueryProfile` instead — a trace
+                whose spans also attribute buffer-pool page reads/hits,
+                payload bytes and (with ``config.profile_memory``) peak
+                allocations per operator.  Implies ``trace``.
 
         Returns:
             A :class:`QueryResult` with OID bindings, measured cost and the
@@ -1103,7 +1125,7 @@ class RDFStore:
             QueryCancelledError: when the query was cancelled mid-run via
                 :meth:`cancel` (see :meth:`active_queries`).
         """
-        tracer = QueryTrace() if trace else None
+        tracer = self._make_tracer(trace, profile)
         scheme = (options or PlannerOptions()).scheme
         active = self.query_registry.begin(text, "sparql", scheme, pool=self.pool)
         started = time.perf_counter()
@@ -1130,6 +1152,19 @@ class RDFStore:
             self._last_trace = tracer
         return result
 
+    def _make_tracer(self, trace: bool, profile: bool):
+        """The observation object one query run carries (or ``None``).
+
+        Profiling wins over plain tracing: a :class:`~repro.obs.QueryProfile`
+        *is* a :class:`~repro.obs.QueryTrace`, so every trace consumer (the
+        result's ``trace`` field, :meth:`last_trace`, the slow-query digest)
+        keeps working and merely sees richer spans.
+        """
+        if profile or self.config.profile_queries:
+            return QueryProfile(pool=self.pool,
+                                memory=self.config.profile_memory)
+        return QueryTrace() if trace else None
+
     def sparql_plan(self, text: str, options: Optional[PlannerOptions] = None):
         """Parse and plan (but do not run) a SPARQL query.
 
@@ -1153,18 +1188,22 @@ class RDFStore:
         Returns:
             A multi-line string: a header with the effective options
             followed by the indented operator tree, each line carrying
-            ``est=…`` (and ``actual=…`` plus per-operator ``time=`` after
-            execution).  With ``analyze=True`` a ``buffers:`` line reports
-            the pool's memory accounting — cached pages, *this run's*
-            evictions/reads/hits (via :meth:`BufferPool.snapshot_delta`)
-            and how much of a lazily opened database the run materialized.
+            ``est=…`` (and ``actual=…`` plus per-operator ``time=`` and
+            ``pages=`` after execution — the analyze run is profiled, so
+            buffer-pool reads are attributed per operator, and a ``mem=``
+            column appears when ``config.profile_memory`` is on).  With
+            ``analyze=True`` a ``buffers:`` line reports the pool's memory
+            accounting — cached pages, *this run's* evictions/reads/hits
+            (via :meth:`BufferPool.snapshot_delta`) and how much of a
+            lazily opened database the run materialized.
         """
         options = options or PlannerOptions()
         _query, plan = self.sparql_engine().prepare(text, options)
         header = f"plan [{options.describe()}]"
         trace = None
         if analyze:
-            trace = QueryTrace()
+            trace = QueryProfile(pool=self.pool,
+                                 memory=self.config.profile_memory)
             mark = self.pool.stats()
             context = self.context().with_tracer(trace)
             _bindings, cost = execute_plan(plan, context)
@@ -1266,7 +1305,8 @@ class RDFStore:
         """
         return self._last_trace
 
-    def sql(self, text: str, trace: bool = False) -> SqlResult:
+    def sql(self, text: str, trace: bool = False,
+            profile: bool = False) -> SqlResult:
         """Run a SQL query against the emergent relational view.
 
         Args:
@@ -1274,6 +1314,9 @@ class RDFStore:
             trace: when ``True``, record a per-operator
                 :class:`~repro.obs.QueryTrace` for this run — returned on
                 the result's ``trace`` field and via :meth:`last_trace`.
+            profile: record a :class:`~repro.obs.QueryProfile` instead —
+                per-operator page reads/hits, payload bytes and optional
+                allocation peaks (see :meth:`sparql`).  Implies ``trace``.
 
         Returns:
             A :class:`SqlResult` with rows, cost and the executed plan.
@@ -1284,7 +1327,7 @@ class RDFStore:
             QueryCancelledError: when the query was cancelled mid-run via
                 :meth:`cancel`.
         """
-        tracer = QueryTrace() if trace else None
+        tracer = self._make_tracer(trace, profile)
         active = self.query_registry.begin(text, "sql", "sql", pool=self.pool)
         started = time.perf_counter()
         try:

@@ -274,6 +274,17 @@ class Batch:
             return self.table.num_rows
         return int(np.count_nonzero(self.valid))
 
+    def payload_bytes(self) -> int:
+        """Bytes of live binding data carried by the batch.
+
+        Live rows times the per-row width of the table's columns (8-byte
+        OIDs / float64 values) — what a downstream operator actually
+        consumes, used by the profiler's per-operator byte accounting.
+        """
+        row_bytes = sum(values.dtype.itemsize
+                        for values in self.table.columns.values())
+        return self.live_count() * row_bytes
+
     def mask_valid(self, mask: np.ndarray) -> "Batch":
         """AND an additional predicate mask into the batch (no row copies)."""
         combined = mask if self.valid is None else (self.valid & mask)

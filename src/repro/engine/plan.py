@@ -246,7 +246,8 @@ class PhysicalOperator:
                 batch = self._next_batch(context)
             finally:
                 if batch is not None:
-                    tracer.exit(span, rows=batch.live_count(), batches=1)
+                    tracer.exit(span, rows=batch.live_count(), batches=1,
+                                bytes=batch.payload_bytes())
                 else:
                     tracer.exit(span)
         else:
@@ -362,13 +363,18 @@ class PhysicalOperator:
         a :class:`~repro.obs.QueryTrace` from a run of this plan is passed,
         each line also gets a ``time=`` token with the operator's *self*
         wall time (child time excluded) — the ``EXPLAIN ANALYZE`` timing
-        column.
+        column.  Spans from a :class:`~repro.obs.QueryProfile` additionally
+        contribute ``pages=`` (self buffer-pool reads) and, with memory
+        sampling on, ``mem=`` columns via their ``explain_tokens`` hook.
         """
         note = self.cardinality_note()
         if trace is not None:
             span = trace.span_for(self)
             if span is not None:
                 timing = f"time={span.self_seconds * 1000.0:.3f}ms"
+                tokens = getattr(span, "explain_tokens", None)
+                if tokens is not None:
+                    timing = f"{timing} {tokens()}"
                 note = f"{note} {timing}" if note else timing
         suffix = f"  ({note})" if note else ""
         lines = [("  " * indent) + self.describe() + suffix]

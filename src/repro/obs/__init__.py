@@ -16,6 +16,7 @@ from .metrics import (
     default_registry,
     render_prometheus,
 )
+from .profile import ProfileSpan, QueryProfile, format_bytes
 from .queries import (
     NULL_ACTIVE_QUERY,
     ActiveQuery,
@@ -38,11 +39,14 @@ __all__ = [
     "NULL_TRACER",
     "NullActiveQuery",
     "NullTracer",
+    "ProfileSpan",
     "QueryObserver",
+    "QueryProfile",
     "QueryTrace",
     "SlowQueryEntry",
     "SlowQueryLog",
     "TraceSpan",
     "default_registry",
+    "format_bytes",
     "render_prometheus",
 ]

@@ -32,7 +32,9 @@ exposition document.
 from __future__ import annotations
 
 import math
+import sys
 import threading
+import time
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -245,6 +247,13 @@ class Histogram(Metric):
         state = self._state(labels)
         return state.max if state is not None else 0.0
 
+    def mean(self, **labels: object) -> float:
+        """Exact arithmetic mean, derived from the running sum/count."""
+        state = self._state(labels)
+        if state is None or state.count == 0:
+            return 0.0
+        return state.sum / state.count
+
     def percentile(self, q: float, **labels: object) -> float:
         """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets."""
         if not 0.0 < q <= 1.0:
@@ -273,14 +282,16 @@ class Histogram(Metric):
         return observed_max
 
     def summary(self, **labels: object) -> Dict[str, float]:
-        """``count``/``sum``/``max``/``p50``/``p95``/``p99`` in one dict."""
+        """``count``/``sum``/``max``/``mean``/``p50``/``p95``/``p99`` in one dict."""
         state = self._state(labels)
         if state is None or state.count == 0:
-            return {"count": 0, "sum": 0.0, "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {"count": 0, "sum": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": state.count,
             "sum": state.sum,
             "max": state.max,
+            "mean": state.sum / state.count,
             "p50": self.percentile(0.50, **labels),
             "p95": self.percentile(0.95, **labels),
             "p99": self.percentile(0.99, **labels),
@@ -375,6 +386,38 @@ class MetricsRegistry:
 
 _DEFAULT_REGISTRY = MetricsRegistry()
 
+_PROCESS_STARTED = time.monotonic()
+
+
+def _register_process_metrics(registry: MetricsRegistry) -> None:
+    """Process-level gauges so a ``/metrics`` scrape stands alone.
+
+    Callback-backed: nothing is sampled until collection time.  ``resource``
+    is POSIX-only; on platforms without it only the uptime gauge exists.
+    """
+    registry.gauge(
+        "process_uptime_seconds",
+        "Seconds since this process imported the metrics module.",
+        fn=lambda: time.monotonic() - _PROCESS_STARTED)
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    scale = 1 if sys.platform == "darwin" else 1024
+    registry.gauge(
+        "process_resident_memory_bytes",
+        "Peak resident set size of this process (ru_maxrss).",
+        fn=lambda: resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale)
+    registry.counter(
+        "process_cpu_seconds_total",
+        "Total user+system CPU time consumed by this process.",
+        fn=lambda: (lambda ru: ru.ru_utime + ru.ru_stime)(
+            resource.getrusage(resource.RUSAGE_SELF)))
+
+
+_register_process_metrics(_DEFAULT_REGISTRY)
+
 
 def default_registry() -> MetricsRegistry:
     """The process-global registry (WAL counters, ownerless components)."""
@@ -458,6 +501,11 @@ def _render_samples(full: str, metric: Metric) -> List[str]:
             plain = _labels_text(metric.labelnames, key)
             lines.append(f"{full}_sum{plain} {_format_value(state.sum)}")
             lines.append(f"{full}_count{plain} {state.count}")
+            # non-standard but invaluable: the exact tail, not a bucket
+            # interpolation (and the exact mean alongside it)
+            lines.append(f"{full}_max{plain} {_format_value(state.max)}")
+            mean = state.sum / state.count if state.count else 0.0
+            lines.append(f"{full}_mean{plain} {_format_value(mean)}")
     else:
         for key, value in metric.samples():
             labels = _labels_text(metric.labelnames, key)

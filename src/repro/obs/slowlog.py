@@ -124,12 +124,27 @@ class QueryObserver:
         self._errors = registry.counter(
             "query_errors_total", "Queries that raised, by front-end.",
             labelnames=("frontend",))
+        self._profile_seconds = registry.histogram(
+            "query_profile_seconds", "Wall time of profiled queries.")
+        self._profile_pages = registry.histogram(
+            "query_profile_page_reads",
+            "Buffer-pool page reads attributed per profiled query.",
+            buckets=(1, 10, 100, 1_000, 10_000, 100_000, 1_000_000))
+        self._profile_bytes = registry.histogram(
+            "query_profile_payload_bytes",
+            "Batch payload bytes flowing between operators per profiled query.",
+            buckets=(1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26, 1 << 30))
 
     def observe(self, frontend: str, scheme: str, seconds: float, rows: int,
                 text: str = "", trace=None) -> None:
         self._queries.inc(frontend=frontend, scheme=scheme)
         self._latency.observe(seconds, frontend=frontend, scheme=scheme)
         self._rows.inc(rows, frontend=frontend)
+        if trace is not None and getattr(trace, "is_profile", False):
+            # duck-typed so this module never imports the profiler
+            self._profile_seconds.observe(seconds)
+            self._profile_pages.observe(trace.page_reads_total)
+            self._profile_bytes.observe(trace.payload_bytes_total)
         if self.slow_log is not None and text:
             summary = trace.summary() if trace is not None and getattr(
                 trace, "root", None) is not None else ""

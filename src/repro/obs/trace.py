@@ -25,7 +25,7 @@ class TraceSpan:
     """Aggregated timings for one physical operator within one execution."""
 
     __slots__ = ("label", "parent", "children", "seconds", "rows", "batches",
-                 "calls", "_entered_at")
+                 "bytes", "calls", "_entered_at")
 
     def __init__(self, label: str, parent: Optional["TraceSpan"] = None) -> None:
         self.label = label
@@ -34,6 +34,7 @@ class TraceSpan:
         self.seconds = 0.0       # cumulative wall time (includes children)
         self.rows = 0
         self.batches = 0
+        self.bytes = 0           # payload bytes of emitted batches
         self.calls = 0
         self._entered_at = 0.0
         if parent is not None:
@@ -51,6 +52,7 @@ class TraceSpan:
             "self_seconds": self.self_seconds,
             "rows": self.rows,
             "batches": self.batches,
+            "bytes": self.bytes,
             "calls": self.calls,
             "children": [c.as_dict() for c in self.children],
         }
@@ -75,6 +77,10 @@ class QueryTrace:
 
     enabled = True
 
+    span_class = TraceSpan
+    """Span factory — :class:`~repro.obs.profile.QueryProfile` swaps in a
+    resource-accounting subclass without touching the protocol."""
+
     def __init__(self) -> None:
         self.root: Optional[TraceSpan] = None
         self._spans: Dict[int, TraceSpan] = {}
@@ -90,7 +96,7 @@ class QueryTrace:
         span = self._spans.get(key)
         if span is None:
             parent = self._stack[-1] if self._stack else None
-            span = TraceSpan(label, parent)
+            span = self.span_class(label, parent)
             self._spans[key] = span
             if parent is None and self.root is None:
                 self.root = span
@@ -98,7 +104,8 @@ class QueryTrace:
         span._entered_at = time.perf_counter()
         return span
 
-    def exit(self, span: TraceSpan, rows: int = 0, batches: int = 0) -> None:
+    def exit(self, span: TraceSpan, rows: int = 0, batches: int = 0,
+             bytes: int = 0) -> None:
         """Stop timing; only the outermost frame of a span accrues time
         (operators recurse into themselves only via distinct objects, but a
         guard keeps re-entrancy safe)."""
@@ -108,6 +115,7 @@ class QueryTrace:
             span.seconds += elapsed
         span.rows += rows
         span.batches += batches
+        span.bytes += bytes
         span.calls += 1
 
     # -- results ---------------------------------------------------------------
@@ -151,7 +159,8 @@ class NullTracer:
     def enter(self, op: object, label: str):  # pragma: no cover - never hot
         return None
 
-    def exit(self, span, rows: int = 0, batches: int = 0) -> None:  # pragma: no cover
+    def exit(self, span, rows: int = 0, batches: int = 0,
+             bytes: int = 0) -> None:  # pragma: no cover
         pass
 
     def span_for(self, op: object):

@@ -130,7 +130,9 @@ class StoreService:
 
     def stats(self) -> dict:
         """Service-level counters: open snapshots, pending writes, versions,
-        active queries, and the most recent slow-query entries."""
+        active queries, per-frontend/scheme latency summaries (count, sum,
+        exact max, mean, bucket-estimated percentiles), and the most recent
+        slow-query entries."""
         store = self.store
         return {
             "open_snapshots": store.open_snapshot_count(),
@@ -139,9 +141,24 @@ class StoreService:
             "pending_inserts": store.delta.insert_count(),
             "pending_deletes": store.delta.tombstone_count(),
             "active_queries": store.query_registry.active_count(),
+            "query_latency": self._histogram_summaries("query_seconds"),
+            "profile_latency": self._histogram_summaries("query_profile_seconds"),
             "slow_queries": [entry.as_dict() for entry
                              in store.slow_queries()[:20]],
         }
+
+    def _histogram_summaries(self, name: str) -> dict:
+        """One ``summary()`` dict per labelset of a store histogram,
+        keyed ``label=value,label=value`` (``"all"`` when unlabeled)."""
+        histogram = self.store.metrics_registry.get(name)
+        out: dict = {}
+        if histogram is None:
+            return out
+        for key, _state in histogram.samples():
+            labels = dict(zip(histogram.labelnames, key))
+            label_key = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            out[label_key or "all"] = histogram.summary(**labels)
+        return out
 
 
 class QueryServer:

@@ -100,7 +100,8 @@ class ReadSnapshot:
 
     # -- querying ------------------------------------------------------------
 
-    def sparql(self, text: str, options: Optional[PlannerOptions] = None) -> QueryResult:
+    def sparql(self, text: str, options: Optional[PlannerOptions] = None,
+               profile: bool = False) -> QueryResult:
         """Run a SPARQL query against the pinned state.
 
         Snapshot queries record into the owning store's metrics,
@@ -110,16 +111,22 @@ class ReadSnapshot:
         across an ``open(into=...)`` swap.  The query is therefore visible
         in ``store.active_queries()`` (``source="snapshot"``) and
         cancellable with ``store.cancel(id)`` while it runs.
+
+        With ``profile=True`` (or ``config.profile_queries``) the run
+        carries a :class:`~repro.obs.QueryProfile` on the result's
+        ``trace`` field, same as the direct store call.
         """
         self._require_open()
         observer = self._store._observer
         registry = self._store.query_registry
+        tracer = self._store._make_tracer(False, profile)
         scheme = (options or PlannerOptions()).scheme
         active = registry.begin(text, "sparql", scheme, source="snapshot",
                                 pool=self._store.pool)
         started = time.perf_counter()
         try:
-            result = self._engine.query(text, options, active=active)
+            result = self._engine.query(text, options, tracer=tracer,
+                                        active=active)
         except QueryCancelledError:
             registry.finish(active, status="cancelled",
                             seconds=time.perf_counter() - started)
@@ -131,21 +138,24 @@ class ReadSnapshot:
             raise
         elapsed = time.perf_counter() - started
         registry.finish(active, rows=len(result), seconds=elapsed)
-        observer.observe("sparql", scheme, elapsed, len(result), text=text)
+        observer.observe("sparql", scheme, elapsed, len(result), text=text,
+                         trace=tracer)
         return result
 
-    def sql(self, text: str) -> SqlResult:
+    def sql(self, text: str, profile: bool = False) -> SqlResult:
         """Run a SQL query against the pinned state's emergent schema."""
         self._require_open()
         if self.catalog is None:
             raise StorageError("catalog not available; the store had no discovered schema")
         observer = self._store._observer
         registry = self._store.query_registry
+        tracer = self._store._make_tracer(False, profile)
         active = registry.begin(text, "sql", "sql", source="snapshot",
                                 pool=self._store.pool)
         started = time.perf_counter()
         try:
-            result = SqlEngine(self.context, self.catalog).query(text, active=active)
+            result = SqlEngine(self.context, self.catalog).query(
+                text, tracer=tracer, active=active)
         except QueryCancelledError:
             registry.finish(active, status="cancelled",
                             seconds=time.perf_counter() - started)
@@ -157,7 +167,8 @@ class ReadSnapshot:
             raise
         elapsed = time.perf_counter() - started
         registry.finish(active, rows=len(result), seconds=elapsed)
-        observer.observe("sql", "sql", elapsed, len(result), text=text)
+        observer.observe("sql", "sql", elapsed, len(result), text=text,
+                        trace=tracer)
         return result
 
     def decode_rows(self, result) -> List[tuple]:

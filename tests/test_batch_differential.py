@@ -222,9 +222,11 @@ def test_explain_analyze_tree_identical_across_batch_sizes():
     def tree(text: str) -> list:
         lines = text.splitlines()
         kept = [line for line in lines if not line.startswith(("plan [", "buffers:"))]
-        # per-operator time= annotations are wall-clock and legitimately
-        # differ between runs; the row accounting must not
-        return [re.sub(r" time=[0-9.]+ms", "", line) for line in kept]
+        # per-operator time=/pages=/mem= annotations are wall-clock and
+        # cache-state dependent and legitimately differ between runs; the
+        # row accounting must not
+        return [re.sub(r" (?:time=[0-9.]+ms|pages=\d+|mem=\S+)", "", line)
+                for line in kept]
 
     for options in SCHEMES:
         with batch_size(store, 1):

@@ -180,7 +180,8 @@ class TestHistogram:
     def test_empty_and_single_value(self):
         hist = Histogram("h", buckets=(1.0, 2.0))
         assert hist.summary() == {"count": 0, "sum": 0.0, "max": 0.0,
-                                  "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                                  "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                                  "p99": 0.0}
         hist.observe(1.5)
         summary = hist.summary()
         assert summary["count"] == 1 and summary["max"] == 1.5
@@ -228,7 +229,9 @@ class TestExposition:
             't_latency_seconds_bucket{le="1"} 2\n'
             't_latency_seconds_bucket{le="+Inf"} 3\n'
             "t_latency_seconds_sum 5.55\n"
-            "t_latency_seconds_count 3\n")
+            "t_latency_seconds_count 3\n"
+            "t_latency_seconds_max 5\n"
+            "t_latency_seconds_mean 1.8499999999999999\n")
 
     def test_label_values_escaped(self):
         reg = MetricsRegistry(namespace="t")

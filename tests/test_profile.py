@@ -1,0 +1,268 @@
+"""The per-query resource profiler.
+
+Profiling must be a pure observer: identical results whether a query runs
+bare, traced or profiled, over every corpus and plan scheme.  Its numbers
+must *reconcile* — per-operator self page reads sum to the root's cumulative
+count, which equals the buffer pool's own delta over the run — and its cost
+when disabled must stay within the repo's 5% observability budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from _datasets import EX, book_triples
+from repro import RDFStore, StoreConfig
+from repro.cs import DiscoveryConfig, GeneralizationConfig
+from repro.errors import StorageError
+from repro.obs import ProfileSpan, QueryProfile, QueryTrace, format_bytes
+from repro.sparql import (
+    DEFAULT_SCHEME,
+    OPTIMIZED_SCHEME,
+    RDFSCAN_SCHEME,
+    PlannerOptions,
+)
+
+SCHEMES = [
+    PlannerOptions(scheme=DEFAULT_SCHEME),
+    PlannerOptions(scheme=RDFSCAN_SCHEME),
+    PlannerOptions(scheme=OPTIMIZED_SCHEME),
+]
+
+BOOK_QUERIES = [
+    f"SELECT ?b ?a WHERE {{ ?b <{EX}has_author> ?a . ?b <{EX}isbn_no> ?i . }}",
+    f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . FILTER(?y >= 1998) }}",
+    f"SELECT DISTINCT ?a WHERE {{ ?b <{EX}has_author> ?a . }}",
+    f"SELECT ?b ?y WHERE {{ ?b <{EX}in_year> ?y . }} ORDER BY ?y ?b LIMIT 7",
+]
+
+DBLP_VOC = "http://example.org/dblp/schema/"
+
+DBLP_QUERIES = [
+    f"""SELECT ?p ?t ?cn WHERE {{
+          ?p <{DBLP_VOC}creator> ?a .
+          ?p <{DBLP_VOC}title> ?t .
+          ?p <{DBLP_VOC}partOf> ?c .
+          ?c <{DBLP_VOC}title> ?cn .
+        }}""",
+]
+
+STAR_QUERY = BOOK_QUERIES[0]
+
+
+def _config(**overrides) -> StoreConfig:
+    return StoreConfig(discovery=DiscoveryConfig(
+        generalization=GeneralizationConfig(min_support=3)), **overrides)
+
+
+def _sorted_rows(store, text, options=None, **kwargs):
+    result = store.sparql(text, options, **kwargs)
+    return sorted(tuple(str(v) for v in row)
+                  for row in store.decode_rows(result))
+
+
+# -- results are observation-invariant ----------------------------------------
+
+
+class TestDifferential:
+    def test_book_corpus_profiled_results_identical(self, book_store):
+        for text in BOOK_QUERIES:
+            for options in SCHEMES:
+                plain = _sorted_rows(book_store, text, options)
+                profiled = _sorted_rows(book_store, text, options, profile=True)
+                assert profiled == plain, (options.describe(), text)
+
+    def test_dblp_corpus_profiled_results_identical(self, dblp_store):
+        for text in DBLP_QUERIES:
+            for options in SCHEMES:
+                plain = _sorted_rows(dblp_store, text, options)
+                profiled = _sorted_rows(dblp_store, text, options, profile=True)
+                assert profiled == plain, (options.describe(), text)
+
+    def test_profile_span_tree_matches_trace_span_tree(self, book_store):
+        """Same operators, same nesting, same row counts as a plain trace."""
+        def _walk(span):
+            yield span
+            for child in span.children:
+                yield from _walk(child)
+
+        for options in SCHEMES:
+            book_store.sparql(STAR_QUERY, options, trace=True)
+            traced = [(s.label, s.rows) for s in _walk(book_store.last_trace().root)]
+            book_store.sparql(STAR_QUERY, options, profile=True)
+            profile = book_store.last_trace()
+            assert isinstance(profile, QueryProfile)
+            profiled = [(s.label, s.rows) for s in _walk(profile.root)]
+            assert profiled == traced, options.describe()
+
+
+# -- attribution reconciles ----------------------------------------------------
+
+
+class TestReconciliation:
+    def test_self_page_reads_sum_to_pool_delta(self):
+        store = RDFStore.build(book_triples(), config=_config())
+        store.reset_cold()
+        mark = store.pool.stats()
+        store.sparql(STAR_QUERY, PlannerOptions(scheme=RDFSCAN_SCHEME),
+                     profile=True)
+        external = store.pool.snapshot_delta(mark)
+        profile = store.last_trace()
+        assert isinstance(profile, QueryProfile)
+
+        spans = profile.spans()
+        assert spans and all(isinstance(span, ProfileSpan) for span in spans)
+        total_self = sum(span.self_page_reads for span in spans)
+        # Σ per-operator self time == root cumulative == the pool's own delta
+        assert total_self == profile.page_reads_total
+        assert profile.page_reads_total == profile.buffers["page_reads"]
+        assert profile.buffers["page_reads"] == external["page_reads"]
+        assert profile.page_reads_total > 0  # the cold run really read pages
+        assert profile.buffers["page_hits"] == external["page_hits"]
+
+    def test_hot_run_reads_no_pages(self, book_store):
+        book_store.sparql(STAR_QUERY)  # warm
+        book_store.sparql(STAR_QUERY, profile=True)
+        profile = book_store.last_trace()
+        assert profile.page_reads_total == 0
+        assert profile.page_hits_total > 0
+
+    def test_payload_bytes_accumulate(self, book_store):
+        book_store.sparql(STAR_QUERY, profile=True)
+        profile = book_store.last_trace()
+        assert profile.payload_bytes_total > 0
+        assert profile.root.bytes > 0  # the root operator emitted batches
+
+    def test_explain_analyze_carries_pages_column(self, book_store):
+        text = book_store.explain(STAR_QUERY, analyze=True)
+        assert "pages=" in text
+        assert "buffers:" in text
+
+
+# -- opt-in switches -----------------------------------------------------------
+
+
+class TestSwitches:
+    def test_profile_queries_config_profiles_every_run(self):
+        store = RDFStore.build(book_triples(),
+                               config=_config(profile_queries=True))
+        store.sparql(STAR_QUERY)
+        assert isinstance(store.last_trace(), QueryProfile)
+
+    def test_default_runs_are_not_profiled(self):
+        store = RDFStore.build(book_triples(), config=_config())
+        store.sparql(STAR_QUERY)
+        # an untraced run leaves no trace behind at all
+        assert store.last_trace() is None
+
+    def test_trace_flag_still_yields_plain_trace(self, book_store):
+        book_store.sparql(STAR_QUERY, trace=True)
+        trace = book_store.last_trace()
+        assert isinstance(trace, QueryTrace)
+        assert not isinstance(trace, QueryProfile)
+
+    def test_sql_frontend_profiles(self, book_store):
+        catalog = book_store.require_catalog()
+        table = next(iter(catalog.tables.values())).name
+        book_store.sql(f"SELECT * FROM {table}", profile=True)
+        assert isinstance(book_store.last_trace(), QueryProfile)
+
+    def test_snapshot_reads_honor_profile_flag(self, book_store):
+        with book_store.snapshot() as snap:
+            result = snap.sparql(STAR_QUERY, profile=True)
+            assert len(result) > 0
+
+    def test_config_validates_profile_flags(self):
+        with pytest.raises(StorageError):
+            StoreConfig(profile_queries="yes")
+        with pytest.raises(StorageError):
+            StoreConfig(profile_memory=1.5)
+
+
+# -- tracemalloc sampling ------------------------------------------------------
+
+
+class TestMemorySampling:
+    def test_memory_peaks_recorded_and_rendered(self):
+        store = RDFStore.build(book_triples(), config=_config(
+            profile_queries=True, profile_memory=True))
+        store.sparql(STAR_QUERY)
+        profile = store.last_trace()
+        assert profile.mem_peak > 0
+        rendered = profile.render()
+        assert "mem=" in rendered
+
+    def test_memory_off_by_default(self, book_store):
+        book_store.sparql(STAR_QUERY, profile=True)
+        profile = book_store.last_trace()
+        assert profile.mem_peak == 0
+        assert "mem=" not in profile.render()
+
+
+# -- observer integration ------------------------------------------------------
+
+
+class TestObserverIntegration:
+    def test_profiled_runs_feed_profile_histograms(self):
+        store = RDFStore.build(book_triples(),
+                               config=_config(profile_queries=True))
+        store.sparql(STAR_QUERY)
+        histogram = store.metrics_registry.get("query_profile_seconds")
+        assert histogram is not None and histogram.count() == 1
+        pages = store.metrics_registry.get("query_profile_page_reads")
+        assert pages.count() == 1
+
+    def test_unprofiled_runs_do_not(self, book_store):
+        before = book_store.metrics_registry.get("query_profile_seconds").count()
+        book_store.sparql(STAR_QUERY)
+        after = book_store.metrics_registry.get("query_profile_seconds").count()
+        assert after == before
+
+    def test_summary_digest_mentions_pages(self, book_store):
+        book_store.sparql(STAR_QUERY, profile=True)
+        assert "pages=" in book_store.last_trace().summary()
+
+
+# -- formatting ----------------------------------------------------------------
+
+
+class TestFormatBytes:
+    def test_scales(self):
+        assert format_bytes(0) == "0B"
+        assert format_bytes(512) == "512B"
+        assert format_bytes(2048) == "2.0KB"
+        assert format_bytes(3 * 1024 * 1024) == "3.0MB"
+        assert format_bytes(5 * 1024 ** 3) == "5.0GB"
+
+
+# -- the overhead budget -------------------------------------------------------
+
+
+class TestProfilingOverheadGuard:
+    def test_disabled_profiling_within_five_percent(self):
+        """With profiling off, the feature must cost nothing measurable:
+        ``store.sparql()`` stays within 5% of the bare engine path (the same
+        budget the tracing layer honors)."""
+        store = RDFStore.build(book_triples(), config=_config())
+        engine = store.sparql_engine()
+        options = PlannerOptions()
+        store.sparql(STAR_QUERY, options)  # warm plan cache + buffer pool
+        repeats = 30
+
+        def best_mean(fn) -> float:
+            best = None
+            for _ in range(7):
+                started = time.perf_counter()
+                for _ in range(repeats):
+                    fn()
+                mean = (time.perf_counter() - started) / repeats
+                best = mean if best is None else min(best, mean)
+            return best
+
+        bare = best_mean(lambda: engine.query(STAR_QUERY, options))
+        observed = best_mean(lambda: store.sparql(STAR_QUERY, options))
+        # 5% relative, with a 50µs absolute floor against timer jitter
+        assert observed <= bare * 1.05 + 5e-5, \
+            f"profiling-off path {observed * 1e6:.0f}us vs bare {bare * 1e6:.0f}us"

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Diff two benchmark result sets and flag regressions.
+
+Compares ``BENCH_<name>.json`` files written by
+:class:`repro.bench.BenchReporter` — either two individual files or two
+directories (every ``BENCH_*.json`` in the baseline directory is matched by
+name against the candidate directory).  A measurement regresses when it
+moved in its *worse* direction (per its recorded ``direction``) by more
+than ``--threshold`` (relative, default 0.20 = 20%).
+
+Exit codes:
+
+* ``0`` — no regression beyond the threshold;
+* ``1`` — at least one regression;
+* ``2`` — usage error or schema mismatch (unreadable file, wrong
+  ``schema_version``, no comparable measurements).
+
+Stdlib-only on purpose: CI and developers run it without the package
+installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+# measurements noisier than a wall-clock median (sub-millisecond timings)
+# whip around on shared runners; below this floor a relative comparison is
+# meaningless, so such pairs are reported but never fail the gate
+DEFAULT_NOISE_FLOOR_SECONDS = 1e-4
+
+
+class CompareError(Exception):
+    """Unusable input: missing file, bad JSON, wrong schema."""
+
+
+def load_result(path: Path) -> dict:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise CompareError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CompareError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise CompareError(f"{path}: expected a JSON object")
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise CompareError(
+            f"{path}: schema_version {version!r}, this tool understands "
+            f"{SCHEMA_VERSION}")
+    if not isinstance(document.get("measurements"), dict):
+        raise CompareError(f"{path}: no measurements object")
+    return document
+
+
+def compare_documents(baseline: dict, candidate: dict,
+                      threshold: float,
+                      noise_floor: float = DEFAULT_NOISE_FLOOR_SECONDS):
+    """Yield ``(name, base, cand, change, regressed)`` per shared measurement.
+
+    ``change`` is the relative movement in the *worse* direction: positive
+    means the candidate is worse than the baseline, however the measurement
+    is oriented.
+    """
+    base_measurements = baseline["measurements"]
+    cand_measurements = candidate["measurements"]
+    for name in sorted(set(base_measurements) & set(cand_measurements)):
+        base = base_measurements[name]
+        cand = cand_measurements[name]
+        base_value = float(base.get("value", 0.0))
+        cand_value = float(cand.get("value", 0.0))
+        if base_value == 0.0:
+            continue  # nothing to take a ratio against
+        change = (cand_value - base_value) / abs(base_value)
+        if base.get("direction") == "higher_is_better":
+            change = -change
+        below_floor = (base.get("unit") == "seconds"
+                       and max(abs(base_value), abs(cand_value)) < noise_floor)
+        regressed = change > threshold and not below_floor
+        yield name, base_value, cand_value, change, regressed
+
+
+def collect_pairs(baseline: Path, candidate: Path):
+    """Resolve the two arguments into ``(baseline_file, candidate_file)`` pairs."""
+    if baseline.is_file() and candidate.is_file():
+        return [(baseline, candidate)]
+    if baseline.is_dir() and candidate.is_dir():
+        pairs = []
+        for base_file in sorted(baseline.glob("BENCH_*.json")):
+            cand_file = candidate / base_file.name
+            if cand_file.is_file():
+                pairs.append((base_file, cand_file))
+        if not pairs:
+            raise CompareError(
+                f"no BENCH_*.json present in both {baseline} and {candidate}")
+        return pairs
+    raise CompareError(
+        f"{baseline} and {candidate} must both be files or both directories")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json result sets and flag regressions.")
+    parser.add_argument("baseline", type=Path,
+                        help="baseline BENCH_*.json file or directory")
+    parser.add_argument("candidate", type=Path,
+                        help="candidate BENCH_*.json file or directory")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative regression threshold (default 0.20)")
+    parser.add_argument("--noise-floor", type=float,
+                        default=DEFAULT_NOISE_FLOOR_SECONDS,
+                        help="seconds-unit values below this never fail the "
+                             "gate (default 1e-4)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print every compared measurement, not only "
+                             "regressions")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    try:
+        pairs = collect_pairs(args.baseline, args.candidate)
+        regressions = 0
+        compared = 0
+        for base_file, cand_file in pairs:
+            base_doc = load_result(base_file)
+            cand_doc = load_result(cand_file)
+            for name, base_value, cand_value, change, regressed \
+                    in compare_documents(base_doc, cand_doc, args.threshold,
+                                         args.noise_floor):
+                compared += 1
+                if regressed:
+                    regressions += 1
+                if regressed or args.verbose:
+                    marker = "REGRESSION" if regressed else "ok"
+                    print(f"{marker:>10}  {base_doc['name']}/{name}: "
+                          f"{base_value:.6g} -> {cand_value:.6g} "
+                          f"({change:+.1%} worse-direction)")
+    except CompareError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if compared == 0:
+        print("error: no measurements in common", file=sys.stderr)
+        return 2
+    print(f"{compared} measurements compared across {len(pairs)} result "
+          f"file(s); {regressions} regression(s) beyond "
+          f"{args.threshold:.0%}")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

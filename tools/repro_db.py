@@ -13,6 +13,10 @@ Build a database from RDF, reopen it, query it, inspect it::
     python tools/repro_db.py query mydb/ 'SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }'
     python tools/repro_db.py query mydb/ --sql 'SELECT * FROM Book'
 
+    # run one query under the resource profiler (per-operator CPU, rows,
+    # page reads, payload bytes; --memory adds tracemalloc peaks)
+    python tools/repro_db.py profile mydb/ 'SELECT ?s ?o WHERE { ?s <http://x/p> ?o . }'
+
     # apply a SPARQL Update (logged to the WAL), optionally checkpoint
     python tools/repro_db.py update mydb/ 'INSERT DATA { <http://x/s> <http://x/p> "v" . }'
     python tools/repro_db.py checkpoint mydb/
@@ -49,6 +53,7 @@ from repro import (  # noqa: E402
     default_registry,
     render_prometheus,
 )
+from repro.obs import format_bytes  # noqa: E402
 from repro.persist import MANIFEST_FILE, SnapshotReader  # noqa: E402
 from repro.persist.snapshot import wal_path  # noqa: E402
 from repro.rio import load_graph  # noqa: E402
@@ -83,6 +88,32 @@ def cmd_query(args: argparse.Namespace) -> int:
     for row in store.decode_rows(result):
         print("\t".join("NULL" if value is None else str(value) for value in row))
     print(f"-- {len(result)} rows ({result.cost.describe()})", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    store = RDFStore.open(args.database)
+    if args.memory:
+        store.config.profile_memory = True
+    if args.sql:
+        result = store.sql(args.query, profile=True)
+    else:
+        result = store.sparql(args.query, profile=True)
+    profile = store.last_trace()
+    print(profile.render())
+    print()
+    print(f"rows:        {len(result)}")
+    print(f"page reads:  {profile.page_reads_total} "
+          f"(hits {profile.page_hits_total})")
+    print(f"payload:     {format_bytes(profile.payload_bytes_total)} "
+          f"moved between operators")
+    if profile.buffers:
+        pairs = ", ".join(f"{key}={value}"
+                          for key, value in sorted(profile.buffers.items()))
+        print(f"buffer pool: {pairs}")
+    if profile.mem_peak:
+        print(f"mem peak:    {format_bytes(profile.mem_peak)} "
+              f"(tracemalloc, per-operator in the tree above)")
     return 0
 
 
@@ -261,6 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("query")
     p_query.add_argument("--sql", action="store_true", help="treat the query as SQL")
     p_query.set_defaults(func=cmd_query)
+
+    p_profile = sub.add_parser(
+        "profile", help="run one query with the resource profiler and print "
+                        "per-operator CPU, rows, pages and bytes")
+    p_profile.add_argument("database")
+    p_profile.add_argument("query")
+    p_profile.add_argument("--sql", action="store_true",
+                           help="treat the query as SQL")
+    p_profile.add_argument("--memory", action="store_true",
+                           help="also sample tracemalloc peaks per operator")
+    p_profile.set_defaults(func=cmd_profile)
 
     p_update = sub.add_parser("update", help="apply a SPARQL Update (WAL-logged)")
     p_update.add_argument("database")
